@@ -1,0 +1,12 @@
+//! Regenerates Fig. 10: simulator FCFS vs RR, LSG RTT vs number of BSGs.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    println!("{}", figures::fig10(&effort).to_markdown());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 11: multi-hop LSG RTT under FCFS vs RR.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    println!("{}", figures::fig11(&effort).to_markdown());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 12: LSG RTT across QoS setups.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    let fig = figures::fig12(&effort);
+    println!("{}", fig.to_markdown());
+    for (i, name) in figures::FIG12_SETUPS.iter().enumerate() {
+        println!("  setup {i} = {name}");
+    }
+}

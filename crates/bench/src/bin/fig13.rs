@@ -1,0 +1,13 @@
+//! Regenerates Fig. 13: per-source bandwidth shares under QoS gaming.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    println!("{}", figures::fig13(&effort).to_markdown());
+    println!("  (setup 0: BSG 1 is the pretend LSG on the latency SL)");
+}

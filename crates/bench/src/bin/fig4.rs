@@ -1,0 +1,12 @@
+//! Regenerates Fig. 4: RPerf RTT vs payload, with/without the switch.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    println!("{}", figures::fig4(&effort).to_markdown());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 5: one-to-one goodput vs payload, with/without switch.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    println!("{}", figures::fig5(&effort).to_markdown());
+}

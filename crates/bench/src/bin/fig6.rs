@@ -1,0 +1,12 @@
+//! Regenerates Fig. 6: Perftest/QPerf end-to-end RTT vs payload.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    println!("{}", figures::fig6(&effort).to_markdown());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figs. 7a/7b: converged traffic, LSG RTT and BSG bandwidth.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    let (a, b) = figures::fig7(&effort);
+    println!("{}", a.to_markdown());
+    println!("{}", b.to_markdown());
+}

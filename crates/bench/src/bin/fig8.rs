@@ -1,0 +1,13 @@
+//! Regenerates Fig. 8: LSG RTT vs the BSGs' payload size.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    let (fig8, _) = figures::fig8_fig9(&effort);
+    println!("{}", fig8.to_markdown());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 9: total BSG bandwidth vs the BSGs' payload size.
+
+use rperf_bench::{figures, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    let (_, fig9) = figures::fig8_fig9(&effort);
+    println!("{}", fig9.to_markdown());
+}

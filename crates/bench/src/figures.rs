@@ -1,0 +1,479 @@
+//! One generator per paper figure.
+
+use rperf::scenario::{
+    converged, multihop, one_to_one_bandwidth, one_to_one_perftest, one_to_one_qperf,
+    one_to_one_rperf, QosMode, RunSpec,
+};
+use rperf_model::config::SchedPolicy;
+use rperf_model::ClusterConfig;
+use rperf_stats::{Figure, Series};
+
+use crate::Effort;
+
+/// The payload sweep used throughout the paper: 64 B – 4096 B.
+pub const PAYLOADS: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+fn spec(effort: &Effort, cfg: ClusterConfig, base_ms: f64, seed: u64) -> RunSpec {
+    RunSpec::new(cfg)
+        .with_seed(seed)
+        .with_duration(effort.window(base_ms))
+}
+
+/// Fig. 4 — RPerf RTT vs payload size, with and without the switch
+/// (p50 and p99.9, in **ns**).
+pub fn fig4(effort: &Effort) -> Figure {
+    let mut fig = Figure::new(
+        "fig4",
+        "RTT calculated by RPerf for different packet sizes with and without the switch",
+        "Payload Size (B)",
+        "RTT (ns)",
+    );
+    let mut s50_no = Series::new("50th (w/o switch)");
+    let mut s999_no = Series::new("99.9th (w/o switch)");
+    let mut s50_sw = Series::new("50th (w/ switch)");
+    let mut s999_sw = Series::new("99.9th (w/ switch)");
+    for &payload in &PAYLOADS {
+        let x = payload as f64;
+        for (through, s50, s999) in [
+            (false, &mut s50_no, &mut s999_no),
+            (true, &mut s50_sw, &mut s999_sw),
+        ] {
+            let mut p50_sum = 0.0;
+            let mut p999_sum = 0.0;
+            for &seed in &effort.seeds {
+                let summary = one_to_one_rperf(
+                    &spec(effort, ClusterConfig::hardware(), 8.0, seed),
+                    through,
+                    payload,
+                )
+                .summary;
+                p50_sum += summary.p50_ns();
+                p999_sum += summary.p999_ns();
+            }
+            let k = effort.seeds.len() as f64;
+            s50.push(x, p50_sum / k);
+            s999.push(x, p999_sum / k);
+        }
+    }
+    fig.add_series(s50_no);
+    fig.add_series(s999_no);
+    fig.add_series(s50_sw);
+    fig.add_series(s999_sw);
+    fig
+}
+
+/// Fig. 5 — one-to-one BSG goodput vs payload size, with and without the
+/// switch (Gbps).
+pub fn fig5(effort: &Effort) -> Figure {
+    let mut fig = Figure::new(
+        "fig5",
+        "Bandwidth for different packet sizes with and without the switch",
+        "Payload Size (B)",
+        "Bandwidth (Gbps)",
+    );
+    let mut no_sw = Series::new("w/o switch");
+    let mut with_sw = Series::new("w/ switch");
+    for &payload in &PAYLOADS {
+        let x = payload as f64;
+        no_sw.push(
+            x,
+            effort.average(|seed| {
+                one_to_one_bandwidth(
+                    &spec(effort, ClusterConfig::hardware(), 4.0, seed),
+                    false,
+                    payload,
+                )
+            }),
+        );
+        with_sw.push(
+            x,
+            effort.average(|seed| {
+                one_to_one_bandwidth(
+                    &spec(effort, ClusterConfig::hardware(), 4.0, seed),
+                    true,
+                    payload,
+                )
+            }),
+        );
+    }
+    fig.add_series(no_sw);
+    fig.add_series(with_sw);
+    fig
+}
+
+/// Fig. 6 — end-to-end RTT reported by the baseline tools, through the
+/// switch (µs): Perftest p50/p99.9 and QPerf average.
+pub fn fig6(effort: &Effort) -> Figure {
+    let mut fig = Figure::new(
+        "fig6",
+        "End-to-end RTT calculated by Perftest and Qperf with the switch",
+        "Payload Size (B)",
+        "RTT (us)",
+    );
+    let mut pf50 = Series::new("50th (Perftest)");
+    let mut pf999 = Series::new("99.9th (Perftest)");
+    let mut qp50 = Series::new("50th (Qperf)");
+    for &payload in &PAYLOADS {
+        let x = payload as f64;
+        let mut pf50_sum = 0.0;
+        let mut pf999_sum = 0.0;
+        for &seed in &effort.seeds {
+            let summary =
+                one_to_one_perftest(&spec(effort, ClusterConfig::hardware(), 8.0, seed), payload);
+            pf50_sum += summary.p50_us();
+            pf999_sum += summary.p999_us();
+        }
+        let k = effort.seeds.len() as f64;
+        pf50.push(x, pf50_sum / k);
+        pf999.push(x, pf999_sum / k);
+        qp50.push(
+            x,
+            effort.average(|seed| {
+                one_to_one_qperf(&spec(effort, ClusterConfig::hardware(), 8.0, seed), payload)
+                    .avg_us
+            }),
+        );
+    }
+    fig.add_series(pf50);
+    fig.add_series(pf999);
+    fig.add_series(qp50);
+    fig
+}
+
+/// Figs. 7a and 7b — converged traffic on the hardware profile: LSG RTT
+/// (µs) and total BSG goodput (Gbps) vs the number of 4096 B BSGs.
+pub fn fig7(effort: &Effort) -> (Figure, Figure) {
+    let mut fig_a = Figure::new(
+        "fig7a",
+        "RTT of LSG under converged traffic",
+        "Number of BSGs",
+        "RTT of LSG (us)",
+    );
+    let mut fig_b = Figure::new(
+        "fig7b",
+        "Total bandwidth of all BSGs under converged traffic",
+        "Number of BSGs",
+        "Total Bandwidth (Gbps)",
+    );
+    let mut s50 = Series::new("50th");
+    let mut s999 = Series::new("99.9th");
+    let mut total = Series::new("total");
+    for n in 0..=5usize {
+        let mut p50_sum = 0.0;
+        let mut p999_sum = 0.0;
+        let mut bw_sum = 0.0;
+        for &seed in &effort.seeds {
+            let out = converged(
+                &spec(effort, ClusterConfig::hardware(), 40.0, seed),
+                n,
+                4096,
+                1,
+                true,
+                QosMode::SharedSl,
+            );
+            let lsg = out.lsg.expect("LSG present").summary;
+            p50_sum += lsg.p50_us();
+            p999_sum += lsg.p999_us();
+            bw_sum += out.total_gbps;
+        }
+        let k = effort.seeds.len() as f64;
+        s50.push(n as f64, p50_sum / k);
+        s999.push(n as f64, p999_sum / k);
+        if n >= 1 {
+            total.push(n as f64, bw_sum / k);
+        }
+    }
+    fig_a.add_series(s50);
+    fig_a.add_series(s999);
+    fig_b.add_series(total);
+    (fig_a, fig_b)
+}
+
+/// Figs. 8 and 9 — five BSGs with varying payload (batched for small
+/// payloads) plus the LSG: LSG RTT (µs) and total BSG goodput (Gbps).
+pub fn fig8_fig9(effort: &Effort) -> (Figure, Figure) {
+    let mut fig8 = Figure::new(
+        "fig8",
+        "RTT of the LSG as a function of the BSGs' message size",
+        "Payload Size of BSGs (B)",
+        "RTT of LSG (us)",
+    );
+    let mut fig9 = Figure::new(
+        "fig9",
+        "Total bandwidth achieved by BSGs as a function of the message size",
+        "Payload Size of BSGs (B)",
+        "Total Bandwidth (Gbps)",
+    );
+    let mut s50 = Series::new("50th");
+    let mut s999 = Series::new("99.9th");
+    let mut total = Series::new("total");
+    for &payload in &PAYLOADS {
+        // "We also use batching with small payload sizes to improve the
+        // bandwidth utilization."
+        let batch = if payload <= 1024 { 16 } else { 1 };
+        let mut p50_sum = 0.0;
+        let mut p999_sum = 0.0;
+        let mut bw_sum = 0.0;
+        for &seed in &effort.seeds {
+            let out = converged(
+                &spec(effort, ClusterConfig::hardware(), 15.0, seed),
+                5,
+                payload,
+                batch,
+                true,
+                QosMode::SharedSl,
+            );
+            let lsg = out.lsg.expect("LSG present").summary;
+            p50_sum += lsg.p50_us();
+            p999_sum += lsg.p999_us();
+            bw_sum += out.total_gbps;
+        }
+        let k = effort.seeds.len() as f64;
+        s50.push(payload as f64, p50_sum / k);
+        s999.push(payload as f64, p999_sum / k);
+        total.push(payload as f64, bw_sum / k);
+    }
+    fig8.add_series(s50);
+    fig8.add_series(s999);
+    fig9.add_series(total);
+    (fig8, fig9)
+}
+
+/// Fig. 10 — the IB simulator profile: LSG RTT vs number of BSGs under
+/// FCFS and Round-Robin scheduling (µs).
+pub fn fig10(effort: &Effort) -> Figure {
+    let mut fig = Figure::new(
+        "fig10",
+        "Impact of the number of BSGs on RTT of LSG in the simulator",
+        "Number of BSGs",
+        "RTT of LSG (us)",
+    );
+    for policy in [SchedPolicy::Fcfs, SchedPolicy::RoundRobin] {
+        let name = match policy {
+            SchedPolicy::Fcfs => "FCFS",
+            SchedPolicy::RoundRobin => "RR",
+            SchedPolicy::FairShare => "FairShare",
+        };
+        let mut s50 = Series::new(format!("50th ({name})"));
+        let mut s999 = Series::new(format!("99.9th ({name})"));
+        for n in 0..=5usize {
+            let mut p50_sum = 0.0;
+            let mut p999_sum = 0.0;
+            for &seed in &effort.seeds {
+                let cfg = ClusterConfig::omnet_simulator().with_policy(policy);
+                let out = converged(
+                    &spec(effort, cfg, 40.0, seed),
+                    n,
+                    4096,
+                    1,
+                    true,
+                    QosMode::SharedSl,
+                );
+                let lsg = out.lsg.expect("LSG present").summary;
+                p50_sum += lsg.p50_us();
+                p999_sum += lsg.p999_us();
+            }
+            let k = effort.seeds.len() as f64;
+            s50.push(n as f64, p50_sum / k);
+            s999.push(n as f64, p999_sum / k);
+        }
+        fig.add_series(s50);
+        fig.add_series(s999);
+    }
+    fig
+}
+
+/// Fig. 11 — the multi-hop topology: LSG RTT under FCFS vs RR (µs).
+pub fn fig11(effort: &Effort) -> Figure {
+    let mut fig = Figure::new(
+        "fig11",
+        "RTT of LSG in a multi-hop setup",
+        "Packet Scheduling Policy (0 = FCFS, 1 = RR)",
+        "RTT of LSG (us)",
+    );
+    let mut s50 = Series::new("50th");
+    let mut s999 = Series::new("99.9th");
+    for (x, policy) in [(0.0, SchedPolicy::Fcfs), (1.0, SchedPolicy::RoundRobin)] {
+        let mut p50_sum = 0.0;
+        let mut p999_sum = 0.0;
+        for &seed in &effort.seeds {
+            let cfg = ClusterConfig::omnet_simulator();
+            let out = multihop(&spec(effort, cfg, 40.0, seed), policy);
+            let lsg = out.lsg.expect("LSG present").summary;
+            p50_sum += lsg.p50_us();
+            p999_sum += lsg.p999_us();
+        }
+        let k = effort.seeds.len() as f64;
+        s50.push(x, p50_sum / k);
+        s999.push(x, p999_sum / k);
+    }
+    fig.add_series(s50);
+    fig.add_series(s999);
+    fig
+}
+
+/// The four QoS setups of Fig. 12.
+pub const FIG12_SETUPS: [&str; 4] = [
+    "No BSGs",
+    "Shared SL",
+    "Dedicated SL",
+    "Dedicated SL + Pretend LSG",
+];
+
+/// Fig. 12 — LSG RTT across QoS setups (x = setup index into
+/// [`FIG12_SETUPS`], µs).
+pub fn fig12(effort: &Effort) -> Figure {
+    let mut fig = Figure::new(
+        "fig12",
+        "RTT of the real LSG in different setups",
+        "Setup",
+        "RTT of LSG (us)",
+    );
+    let mut s50 = Series::new("50th");
+    let mut s999 = Series::new("99.9th");
+    let setups: [(usize, QosMode); 4] = [
+        (0, QosMode::SharedSl), // no BSGs
+        (5, QosMode::SharedSl),
+        (5, QosMode::DedicatedSl),
+        (5, QosMode::DedicatedSlWithPretend),
+    ];
+    for (x, (n_bsgs, qos)) in setups.into_iter().enumerate() {
+        // The gaming experiment keeps five sources total: four honest
+        // BSGs plus the pretend LSG.
+        let honest = if qos == QosMode::DedicatedSlWithPretend {
+            4
+        } else {
+            n_bsgs
+        };
+        let mut p50_sum = 0.0;
+        let mut p999_sum = 0.0;
+        for &seed in &effort.seeds {
+            let out = converged(
+                &spec(effort, ClusterConfig::hardware(), 30.0, seed),
+                honest,
+                4096,
+                1,
+                true,
+                qos,
+            );
+            let lsg = out.lsg.expect("LSG present").summary;
+            p50_sum += lsg.p50_us();
+            p999_sum += lsg.p999_us();
+        }
+        let k = effort.seeds.len() as f64;
+        s50.push(x as f64, p50_sum / k);
+        s999.push(x as f64, p999_sum / k);
+    }
+    fig.add_series(s50);
+    fig.add_series(s999);
+    fig
+}
+
+/// Fig. 13 — per-source goodput under the gaming experiment vs the shared
+/// baseline (x = 0 for "Dedicated SL + Pretend LSG", 1 for "Shared SL").
+pub fn fig13(effort: &Effort) -> Figure {
+    let mut fig = Figure::new(
+        "fig13",
+        "Total bandwidth achieved by BSGs under converged traffic (gaming)",
+        "Setup (0 = Dedicated SL + Pretend LSG, 1 = Shared SL)",
+        "Bandwidth (Gbps)",
+    );
+    let mut series: Vec<Series> = (1..=5)
+        .map(|i| Series::new(format!("BSG {i}")))
+        .collect();
+    let mut total = Series::new("total");
+
+    // Setup 0: 4 honest BSGs + the pretend LSG (reported as "BSG 1", the
+    // paper's convention of listing the gamer first).
+    {
+        let mut shares = [0.0f64; 5];
+        let mut tot = 0.0;
+        for &seed in &effort.seeds {
+            let out = converged(
+                &spec(effort, ClusterConfig::hardware(), 30.0, seed),
+                4,
+                4096,
+                1,
+                true,
+                QosMode::DedicatedSlWithPretend,
+            );
+            shares[0] += out.pretend_gbps.expect("gaming run");
+            for (i, g) in out.per_bsg_gbps.iter().enumerate() {
+                shares[i + 1] += g;
+            }
+            tot += out.total_gbps;
+        }
+        let k = effort.seeds.len() as f64;
+        for (i, s) in shares.iter().enumerate() {
+            series[i].push(0.0, s / k);
+        }
+        total.push(0.0, tot / k);
+    }
+
+    // Setup 1: five honest BSGs sharing SL0.
+    {
+        let mut shares = [0.0f64; 5];
+        let mut tot = 0.0;
+        for &seed in &effort.seeds {
+            let out = converged(
+                &spec(effort, ClusterConfig::hardware(), 30.0, seed),
+                5,
+                4096,
+                1,
+                true,
+                QosMode::SharedSl,
+            );
+            for (i, g) in out.per_bsg_gbps.iter().enumerate() {
+                shares[i] += g;
+            }
+            tot += out.total_gbps;
+        }
+        let k = effort.seeds.len() as f64;
+        for (i, s) in shares.iter().enumerate() {
+            series[i].push(1.0, s / k);
+        }
+        total.push(1.0, tot / k);
+    }
+
+    for s in series {
+        fig.add_series(s);
+    }
+    fig.add_series(total);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Effort {
+        Effort {
+            seeds: vec![1],
+            scale: 0.05,
+        }
+    }
+
+    #[test]
+    fn fig5_has_both_series_over_the_sweep() {
+        let fig = fig5(&tiny());
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert_eq!(s.len(), PAYLOADS.len());
+        }
+        // Bandwidth grows with payload in both series.
+        for s in &fig.series {
+            assert!(s.y.windows(2).all(|w| w[1] >= w[0] * 0.95));
+        }
+    }
+
+    #[test]
+    fn fig7_latency_grows_and_bandwidth_is_flat_ish() {
+        let (a, b) = fig7(&tiny());
+        let p50 = &a.series[0];
+        assert!(p50.y.last().unwrap() > &(p50.y[0] + 10.0));
+        let total = &b.series[0];
+        for y in &total.y {
+            assert!((35.0..56.0).contains(y), "total bandwidth {y}");
+        }
+    }
+}

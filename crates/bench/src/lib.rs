@@ -1,0 +1,93 @@
+//! The figure-regeneration harness: every table/figure in the paper's
+//! evaluation, reproduced from the simulation.
+//!
+//! The paper's evaluation consists of Figures 4–13 (it has no numbered
+//! tables). Each `figN` function in [`figures`] runs the corresponding
+//! scenario sweep — averaged over seeds, as the paper averages three
+//! runs — and returns [`rperf_stats::Figure`] series ready to print as
+//! Markdown or serialize as JSON.
+//!
+//! [`paper`] holds the published numbers for side-by-side comparison in
+//! EXPERIMENTS.md; we reproduce *shape* (who wins, slopes, crossovers),
+//! not the authors' absolute nanoseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod paper;
+
+use rperf_sim::SimDuration;
+
+/// How much simulated time and how many seeds to spend per data point.
+#[derive(Debug, Clone)]
+pub struct Effort {
+    /// Seeds to average over (the paper runs each test three times).
+    pub seeds: Vec<u64>,
+    /// Scale factor on per-figure base durations.
+    pub scale: f64,
+}
+
+impl Effort {
+    /// Full effort: three seeds, full measurement windows. This is what
+    /// the `fig*` binaries and the report use.
+    pub fn full() -> Self {
+        Effort {
+            seeds: vec![1, 2, 3],
+            scale: 1.0,
+        }
+    }
+
+    /// Quick effort for iteration: one seed, 20 % windows.
+    pub fn quick() -> Self {
+        Effort {
+            seeds: vec![1],
+            scale: 0.2,
+        }
+    }
+
+    /// Minimal effort for Criterion benchmarking of the harness itself.
+    pub fn bench() -> Self {
+        Effort {
+            seeds: vec![1],
+            scale: 0.04,
+        }
+    }
+
+    /// A measurement window of `base_ms` milliseconds under this effort.
+    pub fn window(&self, base_ms: f64) -> SimDuration {
+        SimDuration::from_secs_f64(base_ms * 1e-3 * self.scale)
+    }
+
+    /// Averages `f(seed)` over the configured seeds.
+    pub fn average<F>(&self, mut f: F) -> f64
+    where
+        F: FnMut(u64) -> f64,
+    {
+        let sum: f64 = self.seeds.iter().map(|&s| f(s)).sum();
+        sum / self.seeds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_windows_scale() {
+        let full = Effort::full().window(10.0);
+        let quick = Effort::quick().window(10.0);
+        assert_eq!(full, SimDuration::from_ms(10));
+        assert_eq!(quick, SimDuration::from_ms(2));
+    }
+
+    #[test]
+    fn average_is_arithmetic_mean() {
+        let e = Effort {
+            seeds: vec![1, 2, 3],
+            scale: 1.0,
+        };
+        let avg = e.average(|s| s as f64);
+        assert_eq!(avg, 2.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Published reference values, transcribed from the paper's text and
+//! figures, for paper-vs-measured comparison in EXPERIMENTS.md.
+//!
+//! Values quoted in the running text are exact; values only visible in a
+//! plot are approximate (marked in comments). Units follow the paper:
+//! nanoseconds for Fig. 4, microseconds elsewhere, Gbps for bandwidth.
+
+/// One published latency point: `(x, p50, p99.9)`.
+pub type LatPoint = (f64, f64, f64);
+
+/// Fig. 4 — RPerf RTT in **ns** vs payload, without the switch.
+pub const FIG4_NO_SWITCH_NS: &[LatPoint] = &[(64.0, 20.0, 47.0), (4096.0, 76.0, 85.0)];
+
+/// Fig. 4 — RPerf RTT in **ns** vs payload, through the switch.
+pub const FIG4_WITH_SWITCH_NS: &[LatPoint] = &[(64.0, 432.0, 625.0), (4096.0, 498.0, 688.0)];
+
+/// Fig. 5 — goodput in Gbps `(payload, without switch, with switch)`.
+pub const FIG5_GBPS: &[(f64, f64, f64)] = &[
+    (64.0, 4.1, 3.9),
+    (1024.0, 51.8, 51.2), // "51.8 to 53 Gbps" band; with-switch ≈ −0.6 (plot)
+    (4096.0, 53.0, 52.2),
+];
+
+/// Fig. 6 — Perftest RTT in **µs** through the switch.
+pub const FIG6_PERFTEST_US: &[LatPoint] = &[(64.0, 2.20, 4.11), (4096.0, 5.46, 9.51)];
+
+/// Fig. 6 — QPerf median RTT in **µs** (the tool reports no tail).
+pub const FIG6_QPERF_US: &[(f64, f64)] = &[(64.0, 2.82), (4096.0, 5.85)];
+
+/// Fig. 7a — LSG RTT in **µs** vs number of BSGs (hardware, 4096 B BSGs).
+pub const FIG7A_US: &[LatPoint] = &[
+    (1.0, 0.6, 0.9),
+    (2.0, 5.2, 5.7),
+    (3.0, 10.7, 12.6),
+    // 4 and 5 BSGs: text gives only the increment (4.8–6.1 µs per BSG).
+    (4.0, 16.0, 18.0), // approximate (plot)
+    (5.0, 21.5, 24.0), // approximate (plot)
+];
+
+/// Fig. 7b — total BSG goodput in Gbps vs number of BSGs.
+pub const FIG7B_GBPS: &[(f64, f64)] = &[(1.0, 52.2), (2.0, 51.1), (5.0, 48.4)];
+
+/// Fig. 8 — LSG RTT in **µs** vs the BSGs' payload size (5 BSGs).
+pub const FIG8_US: &[LatPoint] = &[
+    (64.0, 0.4, 0.6),
+    (128.0, 0.6, 0.9),
+    (512.0, 20.0, 20.6),
+    (4096.0, 26.3, 28.2),
+];
+
+/// Fig. 9 — total BSG goodput vs the BSGs' payload size (5 BSGs), Gbps.
+/// The text quotes utilization of the 56 Gbps destination port.
+pub const FIG9_GBPS: &[(f64, f64)] = &[
+    (64.0, 0.35 * 56.0),
+    (128.0, 0.70 * 56.0),
+    (512.0, 0.88 * 56.0),
+    (4096.0, 0.93 * 56.0),
+];
+
+/// Fig. 10 — simulator LSG RTT in **µs** vs number of BSGs, FCFS policy.
+pub const FIG10_FCFS_US: &[LatPoint] = &[
+    (0.0, 0.4, 0.4),
+    (1.0, 0.6, 0.6),
+    (2.0, 4.5, 4.6),
+    (5.0, 18.2, 18.3),
+];
+
+/// Fig. 10 — simulator LSG RTT in **µs**, Round-Robin policy.
+pub const FIG10_RR_US: &[LatPoint] = &[(0.0, 0.4, 0.4), (1.0, 0.6, 0.6), (5.0, 2.5, 2.6)];
+
+/// Fig. 11 — multi-hop LSG RTT in **µs** `(policy, p50, p99.9)`.
+pub const FIG11_US: &[(&str, f64, f64)] = &[("FCFS", 18.4, 18.5), ("RR", 14.5, 14.9)];
+
+/// Fig. 12 — LSG RTT in **µs** per QoS setup.
+pub const FIG12_US: &[(&str, f64, f64)] = &[
+    ("No BSGs", 0.4, 0.6),
+    ("Shared SL", 20.2, 22.1),
+    ("Dedicated SL", 0.7, 1.1),
+    ("Dedicated SL + Pretend LSG", 8.5, 9.1),
+];
+
+/// Fig. 13 — per-source goodput in Gbps under the gaming experiment.
+pub const FIG13_PRETEND_GBPS: f64 = 21.5;
+/// Fig. 13 — each honest BSG's share when gamed (band).
+pub const FIG13_HONEST_GBPS: (f64, f64) = (6.7, 7.0);
+/// Fig. 13 — totals `(dedicated + pretend, shared)`.
+pub const FIG13_TOTALS_GBPS: (f64, f64) = (48.7, 48.4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tables_are_internally_consistent() {
+        // Monotone latency growth with BSG count.
+        for pair in FIG7A_US.windows(2) {
+            assert!(pair[1].1 > pair[0].1);
+        }
+        // FCFS is always worse than RR at 5 BSGs in the simulator.
+        assert!(FIG10_FCFS_US.last().unwrap().1 > FIG10_RR_US.last().unwrap().1);
+        // Gaming grabs about 3× an honest share (the paper's headline).
+        assert!(FIG13_PRETEND_GBPS / FIG13_HONEST_GBPS.1 > 2.5);
+    }
+}

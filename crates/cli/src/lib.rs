@@ -1,0 +1,555 @@
+//! Argument parsing and command execution for `rperf-cli`.
+//!
+//! The command-line front end drives the same scenarios the paper's
+//! evaluation uses, with an interface deliberately reminiscent of the
+//! OFED micro-benchmark tools:
+//!
+//! ```console
+//! $ rperf-cli lat --payload 64
+//! $ rperf-cli lat --tool perftest --payload 4096
+//! $ rperf-cli bw  --payload 1024 --no-switch
+//! $ rperf-cli converged --bsgs 5 --qos dedicated
+//! $ rperf-cli multihop --policy rr
+//! $ rperf-cli chain --switches 3 --bsgs 2
+//! ```
+//!
+//! Argument parsing is hand-rolled (the suite takes no CLI dependency);
+//! every flag error produces a usage message rather than a panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use rperf::scenario::{
+    chain_latency, converged, multihop, one_to_one_bandwidth, one_to_one_perftest,
+    one_to_one_qperf, one_to_one_rperf, QosMode, RunSpec,
+};
+use rperf_model::config::SchedPolicy;
+use rperf_model::ClusterConfig;
+use rperf_sim::SimDuration;
+
+/// Which measurement tool `lat` should model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// The paper's RPerf (Section IV).
+    RPerf,
+    /// OFED perftest-style software ping-pong.
+    Perftest,
+    /// OFED qperf-style post-poll WRITE.
+    Qperf,
+}
+
+/// Which device profile to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// The calibrated hardware testbed.
+    Hardware,
+    /// The paper's OMNeT simulator profile.
+    Omnet,
+}
+
+/// A fully parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// One-to-one latency measurement.
+    Lat {
+        /// Probe payload bytes.
+        payload: u64,
+        /// Skip the switch (back-to-back cabling).
+        no_switch: bool,
+        /// The tool model to run.
+        tool: Tool,
+        /// Common options.
+        common: Common,
+    },
+    /// One-to-one bandwidth measurement.
+    Bw {
+        /// Message payload bytes.
+        payload: u64,
+        /// Skip the switch.
+        no_switch: bool,
+        /// Common options.
+        common: Common,
+    },
+    /// The converged many-to-one scenario.
+    Converged {
+        /// Number of bandwidth generators.
+        bsgs: usize,
+        /// BSG payload bytes.
+        payload: u64,
+        /// Doorbell batch size.
+        batch: usize,
+        /// QoS configuration.
+        qos: QosMode,
+        /// Common options.
+        common: Common,
+    },
+    /// The paper's two-switch multi-hop scenario.
+    Multihop {
+        /// Scheduling policy on both switches.
+        policy: SchedPolicy,
+        /// Common options.
+        common: Common,
+    },
+    /// The switch-chain extension.
+    Chain {
+        /// Number of switches in the path.
+        switches: usize,
+        /// BSGs local to the destination switch.
+        bsgs: usize,
+        /// Common options.
+        common: Common,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by every command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Common {
+    /// Measurement window in milliseconds.
+    pub duration_ms: f64,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Device profile.
+    pub profile: Profile,
+    /// Scheduling policy (where applicable).
+    pub policy: SchedPolicy,
+}
+
+impl Default for Common {
+    fn default() -> Self {
+        Common {
+            duration_ms: 5.0,
+            seed: 1,
+            profile: Profile::Hardware,
+            policy: SchedPolicy::Fcfs,
+        }
+    }
+}
+
+/// A parse failure, carrying the message shown to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+rperf-cli — InfiniBand switch evaluation (simulated)
+
+USAGE:
+    rperf-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+    lat        one-to-one RTT          [--payload N] [--no-switch] [--tool rperf|perftest|qperf]
+    bw         one-to-one goodput      [--payload N] [--no-switch]
+    converged  many-to-one mix         [--bsgs N] [--payload N] [--batch N]
+                                       [--qos shared|dedicated|gamed]
+    multihop   two-switch topology     [--policy fcfs|rr|fair]
+    chain      switch-chain extension  [--switches N] [--bsgs N]
+    help       this text
+
+COMMON OPTIONS:
+    --duration MS     measurement window in milliseconds (default 5)
+    --seed N          experiment seed (default 1)
+    --profile hw|omnet
+    --policy fcfs|rr|fair
+";
+
+fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, ParseError> {
+    let v = value.ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+    v.parse()
+        .map_err(|_| ParseError(format!("{flag}: `{v}` is not a number")))
+}
+
+fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, ParseError> {
+    let v = value.ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+    v.parse()
+        .map_err(|_| ParseError(format!("{flag}: `{v}` is not a number")))
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending flag.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let mut payload: Option<u64> = None;
+    let mut no_switch = false;
+    let mut tool = Tool::RPerf;
+    let mut bsgs = 5usize;
+    let mut batch = 1usize;
+    let mut qos = QosMode::SharedSl;
+    let mut switches = 2usize;
+    let mut common = Common::default();
+
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match flag {
+            "--payload" => {
+                payload = Some(parse_u64(flag, value)?);
+                i += 2;
+            }
+            "--no-switch" => {
+                no_switch = true;
+                i += 1;
+            }
+            "--tool" => {
+                tool = match value.map(String::as_str) {
+                    Some("rperf") => Tool::RPerf,
+                    Some("perftest") => Tool::Perftest,
+                    Some("qperf") => Tool::Qperf,
+                    other => {
+                        return Err(ParseError(format!(
+                            "--tool: expected rperf|perftest|qperf, got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--bsgs" => {
+                bsgs = parse_u64(flag, value)? as usize;
+                i += 2;
+            }
+            "--batch" => {
+                batch = parse_u64(flag, value)?.max(1) as usize;
+                i += 2;
+            }
+            "--qos" => {
+                qos = match value.map(String::as_str) {
+                    Some("shared") => QosMode::SharedSl,
+                    Some("dedicated") => QosMode::DedicatedSl,
+                    Some("gamed") => QosMode::DedicatedSlWithPretend,
+                    other => {
+                        return Err(ParseError(format!(
+                            "--qos: expected shared|dedicated|gamed, got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--switches" => {
+                switches = parse_u64(flag, value)?.max(1) as usize;
+                i += 2;
+            }
+            "--duration" => {
+                common.duration_ms = parse_f64(flag, value)?;
+                i += 2;
+            }
+            "--seed" => {
+                common.seed = parse_u64(flag, value)?;
+                i += 2;
+            }
+            "--profile" => {
+                common.profile = match value.map(String::as_str) {
+                    Some("hw") | Some("hardware") => Profile::Hardware,
+                    Some("omnet") | Some("sim") => Profile::Omnet,
+                    other => {
+                        return Err(ParseError(format!(
+                            "--profile: expected hw|omnet, got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--policy" => {
+                common.policy = match value.map(String::as_str) {
+                    Some("fcfs") => SchedPolicy::Fcfs,
+                    Some("rr") => SchedPolicy::RoundRobin,
+                    Some("fair") => SchedPolicy::FairShare,
+                    other => {
+                        return Err(ParseError(format!(
+                            "--policy: expected fcfs|rr|fair, got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            other => return Err(ParseError(format!("unknown option `{other}`"))),
+        }
+    }
+
+    Ok(match cmd.as_str() {
+        // Probe-style commands default to the paper's 64 B probes; bulk
+        // commands default to its 4096 B messages.
+        "lat" => Command::Lat {
+            payload: payload.unwrap_or(64),
+            no_switch,
+            tool,
+            common,
+        },
+        "bw" => Command::Bw {
+            payload: payload.unwrap_or(4096),
+            no_switch,
+            common,
+        },
+        "converged" => Command::Converged {
+            bsgs,
+            payload: payload.unwrap_or(4096),
+            batch,
+            qos,
+            common,
+        },
+        "multihop" => Command::Multihop {
+            policy: common.policy,
+            common,
+        },
+        "chain" => Command::Chain {
+            switches,
+            bsgs: if bsgs == 5 { 0 } else { bsgs },
+            common,
+        },
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(ParseError(format!("unknown command `{other}`"))),
+    })
+}
+
+fn spec_of(common: &Common) -> RunSpec {
+    let cfg = match common.profile {
+        Profile::Hardware => ClusterConfig::hardware(),
+        Profile::Omnet => ClusterConfig::omnet_simulator(),
+    }
+    .with_policy(common.policy);
+    RunSpec::new(cfg)
+        .with_seed(common.seed)
+        .with_duration(SimDuration::from_secs_f64(common.duration_ms * 1e-3))
+}
+
+/// Executes a parsed command and returns the text to print.
+pub fn execute(cmd: &Command) -> String {
+    match cmd {
+        Command::Help => USAGE.to_string(),
+        Command::Lat {
+            payload,
+            no_switch,
+            tool,
+            common,
+        } => {
+            let spec = spec_of(common);
+            match tool {
+                Tool::RPerf => {
+                    let r = one_to_one_rperf(&spec, !no_switch, *payload);
+                    format!(
+                        "rperf  payload={payload}B  switch={}\n\
+                         iterations: {}\n\
+                         RTT p50 {:.3} us | p99 {:.3} us | p99.9 {:.3} us | max {:.3} us",
+                        !no_switch,
+                        r.iterations,
+                        r.summary.p50_us(),
+                        r.summary.p99_ps as f64 / 1e6,
+                        r.summary.p999_us(),
+                        r.summary.max_ps as f64 / 1e6,
+                    )
+                }
+                Tool::Perftest => {
+                    if *no_switch {
+                        return "--no-switch is not supported for the perftest model".into();
+                    }
+                    let s = one_to_one_perftest(&spec, *payload);
+                    format!(
+                        "perftest  payload={payload}B\n\
+                         RTT p50 {:.3} us | p99.9 {:.3} us  (includes end-point overheads)",
+                        s.p50_us(),
+                        s.p999_us(),
+                    )
+                }
+                Tool::Qperf => {
+                    if *no_switch {
+                        return "--no-switch is not supported for the qperf model".into();
+                    }
+                    let r = one_to_one_qperf(&spec, *payload);
+                    format!(
+                        "qperf  payload={payload}B\n\
+                         latency {:.2} us  (average only; the real tool reports no tail)",
+                        r.avg_us,
+                    )
+                }
+            }
+        }
+        Command::Bw {
+            payload,
+            no_switch,
+            common,
+        } => {
+            let spec = spec_of(common);
+            let gbps = one_to_one_bandwidth(&spec, !no_switch, *payload);
+            format!(
+                "bw  payload={payload}B  switch={}\ngoodput {gbps:.2} Gbps",
+                !no_switch
+            )
+        }
+        Command::Converged {
+            bsgs,
+            payload,
+            batch,
+            qos,
+            common,
+        } => {
+            let spec = spec_of(common);
+            let honest = if *qos == QosMode::DedicatedSlWithPretend {
+                bsgs.saturating_sub(1)
+            } else {
+                *bsgs
+            };
+            let out = converged(&spec, honest, *payload, *batch, true, *qos);
+            let lsg = out.lsg.expect("LSG attached");
+            let mut text = format!(
+                "converged  bsgs={bsgs}  payload={payload}B  qos={qos:?}\n\
+                 LSG RTT p50 {:.2} us | p99.9 {:.2} us\n\
+                 total bulk goodput {:.1} Gbps",
+                lsg.summary.p50_us(),
+                lsg.summary.p999_us(),
+                out.total_gbps,
+            );
+            if let Some(p) = out.pretend_gbps {
+                text.push_str(&format!("\npretend LSG goodput {p:.1} Gbps"));
+            }
+            text
+        }
+        Command::Multihop { policy, common } => {
+            let spec = spec_of(common);
+            let out = multihop(&spec, *policy);
+            let lsg = out.lsg.expect("LSG attached");
+            format!(
+                "multihop  policy={policy:?}\n\
+                 LSG RTT p50 {:.2} us | p99.9 {:.2} us\n\
+                 total bulk goodput {:.1} Gbps",
+                lsg.summary.p50_us(),
+                lsg.summary.p999_us(),
+                out.total_gbps,
+            )
+        }
+        Command::Chain {
+            switches,
+            bsgs,
+            common,
+        } => {
+            let spec = spec_of(common);
+            let r = chain_latency(&spec, *switches, *bsgs);
+            format!(
+                "chain  switches={switches}  tail bsgs={bsgs}\n\
+                 LSG RTT p50 {:.2} us | p99.9 {:.2} us over {} probes",
+                r.summary.p50_us(),
+                r.summary.p999_us(),
+                r.iterations,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_lat_defaults() {
+        let cmd = parse(&args("lat")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lat {
+                payload: 64,
+                no_switch: false,
+                tool: Tool::RPerf,
+                common: Common::default(),
+            }
+        );
+    }
+
+    #[test]
+    fn converged_payload_flag_is_respected_even_at_64() {
+        // Regression: an explicit `--payload 64` used to be silently
+        // replaced by the bulk default.
+        let cmd = parse(&args("converged --payload 64")).unwrap();
+        match cmd {
+            Command::Converged { payload, .. } => assert_eq!(payload, 64),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse(&args("converged")).unwrap();
+        match cmd {
+            Command::Converged { payload, .. } => assert_eq!(payload, 4096),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cmd = parse(&args(
+            "converged --bsgs 4 --payload 2048 --batch 8 --qos gamed \
+             --duration 2 --seed 9 --profile omnet --policy rr",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Converged {
+                bsgs,
+                payload,
+                batch,
+                qos,
+                common,
+            } => {
+                assert_eq!(bsgs, 4);
+                assert_eq!(payload, 2048);
+                assert_eq!(batch, 8);
+                assert_eq!(qos, QosMode::DedicatedSlWithPretend);
+                assert_eq!(common.duration_ms, 2.0);
+                assert_eq!(common.seed, 9);
+                assert_eq!(common.profile, Profile::Omnet);
+                assert_eq!(common.policy, SchedPolicy::RoundRobin);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("lat --what 3")).is_err());
+        assert!(parse(&args("lat --payload")).is_err());
+        assert!(parse(&args("lat --payload abc")).is_err());
+        assert!(parse(&args("lat --tool iperf")).is_err());
+        assert!(parse(&args("lat --qos none")).is_err());
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert!(execute(&Command::Help).contains("USAGE"));
+    }
+
+    #[test]
+    fn executes_a_quick_latency_run() {
+        let cmd = parse(&args("lat --payload 64 --duration 1")).unwrap();
+        let out = execute(&cmd);
+        assert!(out.contains("RTT p50"), "{out}");
+    }
+
+    #[test]
+    fn executes_a_quick_bandwidth_run() {
+        let cmd = parse(&args("bw --payload 4096 --duration 1 --no-switch")).unwrap();
+        let out = execute(&cmd);
+        assert!(out.contains("goodput"), "{out}");
+    }
+
+    #[test]
+    fn perftest_refuses_no_switch() {
+        let cmd = parse(&args("lat --tool perftest --no-switch --duration 1")).unwrap();
+        assert!(execute(&cmd).contains("not supported"));
+    }
+}

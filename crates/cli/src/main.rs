@@ -1,0 +1,17 @@
+//! `rperf-cli`: the command-line front end.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rperf_cli::parse(&args) {
+        Ok(cmd) => {
+            println!("{}", rperf_cli::execute(&cmd));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", rperf_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! **RPerf** — precise switch-latency measurement for RDMA fabrics, plus
+//! the baseline tools it is compared against and the paper's experiment
+//! scenarios.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Section IV): a micro-benchmarking tool that measures the RTT through
+//! an InfiniBand switch *without* end-point bias, by combining
+//!
+//! 1. **post-poll** measurement over RC SEND — the remote RNIC generates
+//!    the ACK immediately on receipt, before any remote-side software or
+//!    PCIe work, excluding remote-side overheads; and
+//! 2. **loopback subtraction** — each over-the-wire SEND is paired with a
+//!    loopback SEND whose completion time measures exactly the local-side
+//!    processing (MMIO, WQE engine, payload DMA), so
+//!    `RTT = (T_W − T_P) − (T_L − T_P) = T_W − T_L` (Eq. 1).
+//!
+//! The baseline models reproduce each existing tool's *bias structure*
+//! (Section III):
+//!
+//! * [`PerftestClient`]/[`PingPongServer`] — software ping-pong: includes
+//!   remote-side software, both sides' PCIe, and local posting overheads.
+//! * [`QperfClient`] — post-poll WRITE: excludes remote software but
+//!   includes the remote payload DMA (Fig. 1b) and heavyweight
+//!   timestamping; reports only averages.
+//!
+//! The [`scenario`] module assembles every experimental setup in the
+//! paper's evaluation (one-to-one, converged, multi-hop, QoS, gaming) into
+//! runnable functions returning the figures' data points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod perftest;
+mod qperf;
+mod rperf_app;
+pub mod scenario;
+
+pub use perftest::{PerftestClient, PerftestConfig, PingPongServer};
+pub use qperf::{QperfClient, QperfConfig, QperfReport};
+pub use rperf_app::{RPerf, RPerfConfig, RPerfReport};

@@ -1,0 +1,431 @@
+//! Every experimental setup in the paper's evaluation, as runnable
+//! scenarios.
+//!
+//! Each function builds the fabric, attaches the right applications,
+//! warms up, runs for the requested measurement window and returns the
+//! data points the corresponding figure plots. The figure harness in
+//! `rperf-bench` sweeps parameters and averages over seeds (the paper
+//! averages three runs).
+
+use rperf_fabric::{Fabric, FabricBuilder, Sim};
+use rperf_model::config::SchedPolicy;
+use rperf_model::{ClusterConfig, ServiceLevel};
+use rperf_sim::{SimDuration, SimTime};
+use rperf_stats::LatencySummary;
+use rperf_workloads::{Bsg, BsgConfig, PretendLsg, Sink};
+
+use crate::perftest::{PerftestClient, PerftestConfig, PingPongServer};
+use crate::qperf::{QperfClient, QperfConfig, QperfReport};
+use crate::rperf_app::{RPerf, RPerfConfig, RPerfReport};
+
+/// Shared run parameters.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Cluster configuration (device profile, policies, QoS tables).
+    pub cfg: ClusterConfig,
+    /// Warm-up horizon: samples and bandwidth before this are discarded.
+    pub warmup: SimDuration,
+    /// Measurement window after warm-up.
+    pub duration: SimDuration,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A spec with the given configuration and sensible defaults
+    /// (200 µs warm-up, 5 ms measurement).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        RunSpec {
+            cfg,
+            warmup: SimDuration::from_us(200),
+            duration: SimDuration::from_ms(5),
+            seed: 1,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the measurement window (builder style).
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    fn end(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.duration
+    }
+}
+
+/// QoS configuration of the converged scenarios (Section VII–VIII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosMode {
+    /// Everything shares SL0/VL0 (Section VII).
+    SharedSl,
+    /// LSG traffic on SL1 → high-priority VL1 (Section VIII-C).
+    DedicatedSl,
+    /// Dedicated SL plus a bandwidth hog gaming the latency class
+    /// (Section VIII-C, "Gaming the dedicated SL/VL setup").
+    DedicatedSlWithPretend,
+}
+
+/// Outcome of a converged-traffic run.
+#[derive(Debug, Clone)]
+pub struct ConvergedOutcome {
+    /// The LSG's RTT distribution measured by RPerf (absent if no LSG ran).
+    pub lsg: Option<RPerfReport>,
+    /// Goodput of each ordinary BSG, in Gbps.
+    pub per_bsg_gbps: Vec<f64>,
+    /// Goodput of the pretend LSG (gaming runs only).
+    pub pretend_gbps: Option<f64>,
+    /// Aggregate source goodput in Gbps.
+    pub total_gbps: f64,
+}
+
+/// Fig. 4 data: the RTT measured by RPerf, one-to-one, with or without
+/// the switch.
+pub fn one_to_one_rperf(spec: &RunSpec, through_switch: bool, payload: u64) -> RPerfReport {
+    let fabric = if through_switch {
+        Fabric::single_switch(spec.cfg.clone(), 2, spec.seed)
+    } else {
+        Fabric::direct_pair(spec.cfg.clone(), spec.seed)
+    };
+    let mut sim = Sim::new(fabric);
+    sim.add_app(
+        0,
+        Box::new(RPerf::new(
+            RPerfConfig::new(1)
+                .with_payload(payload)
+                .with_warmup(spec.warmup)
+                .with_seed(spec.seed ^ 0xA5A5),
+        )),
+    );
+    sim.add_app(1, Box::new(Sink::new()));
+    sim.start();
+    sim.run_until(spec.end());
+    sim.app_as::<RPerf>(0).report()
+}
+
+/// Fig. 5 data: one-to-one BSG goodput in Gbps, with or without the
+/// switch.
+pub fn one_to_one_bandwidth(spec: &RunSpec, through_switch: bool, payload: u64) -> f64 {
+    let fabric = if through_switch {
+        Fabric::single_switch(spec.cfg.clone(), 2, spec.seed)
+    } else {
+        Fabric::direct_pair(spec.cfg.clone(), spec.seed)
+    };
+    let mut sim = Sim::new(fabric);
+    sim.add_app(
+        0,
+        Box::new(Bsg::new(
+            BsgConfig::new(1, payload).with_warmup(spec.warmup),
+        )),
+    );
+    sim.add_app(1, Box::new(Sink::new()));
+    sim.start();
+    let end = spec.end();
+    sim.run_until(end);
+    sim.app_as::<Bsg>(0).gbps_until(end.as_ps())
+}
+
+/// Fig. 6 data (perftest side): end-to-end ping-pong RTT through the
+/// switch.
+pub fn one_to_one_perftest(spec: &RunSpec, payload: u64) -> LatencySummary {
+    let mut sim = Sim::new(Fabric::single_switch(spec.cfg.clone(), 2, spec.seed));
+    let client_cfg = PerftestConfig::new(1)
+        .with_payload(payload)
+        .with_warmup(spec.warmup);
+    let mut server_cfg = client_cfg.clone();
+    server_cfg.peer = 0;
+    sim.add_app(0, Box::new(PerftestClient::new(client_cfg)));
+    sim.add_app(1, Box::new(PingPongServer::new(server_cfg)));
+    sim.start();
+    sim.run_until(spec.end());
+    sim.app_as::<PerftestClient>(0).summary()
+}
+
+/// Fig. 6 data (qperf side): post-poll WRITE RTT through the switch.
+/// Returns what the tool reports (average only).
+pub fn one_to_one_qperf(spec: &RunSpec, payload: u64) -> QperfReport {
+    let mut sim = Sim::new(Fabric::single_switch(spec.cfg.clone(), 2, spec.seed));
+    sim.add_app(
+        0,
+        Box::new(QperfClient::new(
+            QperfConfig::new(1)
+                .with_payload(payload)
+                .with_warmup(spec.warmup),
+        )),
+    );
+    sim.add_app(1, Box::new(Sink::new()));
+    sim.start();
+    sim.run_until(spec.end());
+    sim.app_as::<QperfClient>(0).report()
+}
+
+/// The converged many-to-one scenario of Sections VII and VIII: `n_bsgs`
+/// bandwidth flows (payload `bsg_payload`, doorbell batch `bsg_batch`)
+/// plus optionally an RPerf-instrumented LSG, all targeting one
+/// destination. `qos` selects the Section VIII-C configurations.
+///
+/// Node layout: BSGs first, then (gaming runs) the pretend LSG, then the
+/// LSG, destination last — seven nodes in the paper's full setup.
+pub fn converged(
+    spec: &RunSpec,
+    n_bsgs: usize,
+    bsg_payload: u64,
+    bsg_batch: usize,
+    with_lsg: bool,
+    qos: QosMode,
+) -> ConvergedOutcome {
+    let mut cfg = spec.cfg.clone();
+    if qos != QosMode::SharedSl {
+        cfg = cfg.with_dedicated_sl();
+    }
+    let pretend = qos == QosMode::DedicatedSlWithPretend;
+
+    let n_nodes = n_bsgs + usize::from(pretend) + usize::from(with_lsg) + 1;
+    let pretend_idx = n_bsgs; // valid when `pretend`
+    let lsg_idx = n_bsgs + usize::from(pretend);
+    let dest = n_nodes - 1;
+
+    let mut builder = FabricBuilder::new(cfg.clone(), spec.seed);
+    if pretend {
+        // The adversary optimizes its posting path (multiple QPs plus
+        // aggressive doorbell batching); modelled as a faster WQE engine.
+        let mut hot = cfg.rnic.clone();
+        hot.wqe_engine = SimDuration::from_ns(65);
+        builder = builder.with_rnic_override(pretend_idx, hot);
+    }
+    let fabric = builder.single_switch(n_nodes);
+    let mut sim = Sim::new(fabric);
+
+    for b in 0..n_bsgs {
+        sim.add_app(
+            b,
+            Box::new(Bsg::new(
+                BsgConfig::new(dest, bsg_payload)
+                    .with_batch(bsg_batch)
+                    .with_warmup(spec.warmup),
+            )),
+        );
+    }
+    if pretend {
+        sim.add_app(
+            pretend_idx,
+            Box::new(PretendLsg::new(
+                dest,
+                256,
+                ServiceLevel::new(1),
+                spec.warmup,
+            )),
+        );
+    }
+    if with_lsg {
+        let sl = if qos == QosMode::SharedSl {
+            ServiceLevel::new(0)
+        } else {
+            ServiceLevel::new(1)
+        };
+        sim.add_app(
+            lsg_idx,
+            Box::new(RPerf::new(
+                RPerfConfig::new(dest)
+                    .with_sl(sl)
+                    .with_warmup(spec.warmup)
+                    .with_seed(spec.seed ^ 0x15C),
+            )),
+        );
+    }
+    sim.add_app(dest, Box::new(Sink::new()));
+
+    sim.start();
+    let end = spec.end();
+    sim.run_until(end);
+
+    let per_bsg_gbps: Vec<f64> = (0..n_bsgs)
+        .map(|b| sim.app_as::<Bsg>(b).gbps_until(end.as_ps()))
+        .collect();
+    let pretend_gbps =
+        pretend.then(|| sim.app_as::<PretendLsg>(pretend_idx).bsg().gbps_until(end.as_ps()));
+    let lsg = with_lsg.then(|| sim.app_as::<RPerf>(lsg_idx).report());
+    let total_gbps = per_bsg_gbps.iter().sum::<f64>() + pretend_gbps.unwrap_or(0.0);
+
+    ConvergedOutcome {
+        lsg,
+        per_bsg_gbps,
+        pretend_gbps,
+        total_gbps,
+    }
+}
+
+/// The multi-hop scenario of Fig. 11: two switches in series; two BSGs
+/// and the LSG upstream, three BSGs downstream, destination downstream.
+/// All BSGs send 4096-byte messages.
+pub fn multihop(spec: &RunSpec, policy: SchedPolicy) -> ConvergedOutcome {
+    let cfg = spec.cfg.clone().with_policy(policy);
+    // Upstream: nodes 0,1 (BSG), 2 (LSG). Downstream: 3,4,5 (BSG), 6 (dest).
+    let fabric = Fabric::two_switch(cfg, 3, 4, spec.seed);
+    let dest = 6;
+    let mut sim = Sim::new(fabric);
+    for b in [0usize, 1, 3, 4, 5] {
+        sim.add_app(
+            b,
+            Box::new(Bsg::new(
+                BsgConfig::new(dest, 4096).with_warmup(spec.warmup),
+            )),
+        );
+    }
+    sim.add_app(
+        2,
+        Box::new(RPerf::new(
+            RPerfConfig::new(dest)
+                .with_warmup(spec.warmup)
+                .with_seed(spec.seed ^ 0x2207),
+        )),
+    );
+    sim.add_app(dest, Box::new(Sink::new()));
+    sim.start();
+    let end = spec.end();
+    sim.run_until(end);
+
+    let per_bsg_gbps: Vec<f64> = [0usize, 1, 3, 4, 5]
+        .iter()
+        .map(|&b| sim.app_as::<Bsg>(b).gbps_until(end.as_ps()))
+        .collect();
+    let total_gbps = per_bsg_gbps.iter().sum();
+    ConvergedOutcome {
+        lsg: Some(sim.app_as::<RPerf>(2).report()),
+        per_bsg_gbps,
+        pretend_gbps: None,
+        total_gbps,
+    }
+}
+
+/// Extension scenario: the LSG probes a destination across a *chain* of
+/// `n_switches` switches (LSG on the first, destination on the last),
+/// with `bsgs_at_tail` bulk flows local to the destination switch.
+///
+/// With `bsgs_at_tail = 0` this measures how the zero-load RTT grows per
+/// hop (each switch adds its pipeline + arbitration latency twice per
+/// round trip); with bulk traffic it shows that congestion at the last
+/// hop dominates regardless of path length.
+pub fn chain_latency(
+    spec: &RunSpec,
+    n_switches: usize,
+    bsgs_at_tail: usize,
+) -> RPerfReport {
+    use rperf_subnet::TopologySpec;
+    assert!(n_switches >= 1, "a chain needs at least one switch");
+    let mut hosts = vec![0usize; n_switches];
+    hosts[0] = 1; // the LSG
+    hosts[n_switches - 1] += bsgs_at_tail + 1; // BSGs + destination
+    let topo = TopologySpec::chain(n_switches, &hosts);
+    let fabric = Fabric::from_spec(spec.cfg.clone(), &topo, spec.seed);
+    let dest = fabric.nodes() - 1;
+    let mut sim = Sim::new(fabric);
+    sim.add_app(
+        0,
+        Box::new(RPerf::new(
+            RPerfConfig::new(dest)
+                .with_warmup(spec.warmup)
+                .with_seed(spec.seed ^ 0xC4A1),
+        )),
+    );
+    for b in 1..=bsgs_at_tail {
+        sim.add_app(
+            b,
+            Box::new(Bsg::new(
+                BsgConfig::new(dest, 4096).with_warmup(spec.warmup),
+            )),
+        );
+    }
+    sim.add_app(dest, Box::new(Sink::new()));
+    sim.start();
+    sim.run_until(spec.end());
+    sim.app_as::<RPerf>(0).report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(cfg: ClusterConfig) -> RunSpec {
+        RunSpec::new(cfg).with_duration(SimDuration::from_ms(2))
+    }
+
+    #[test]
+    fn converged_lsg_latency_grows_with_bsgs() {
+        let spec = quick_spec(ClusterConfig::hardware());
+        let zero = converged(&spec, 0, 4096, 1, true, QosMode::SharedSl);
+        let two = converged(&spec, 2, 4096, 1, true, QosMode::SharedSl);
+        let five = converged(&spec, 5, 4096, 1, true, QosMode::SharedSl);
+        let l0 = zero.lsg.unwrap().summary.p50_us();
+        let l2 = two.lsg.unwrap().summary.p50_us();
+        let l5 = five.lsg.unwrap().summary.p50_us();
+        assert!(l0 < 1.0, "zero-load LSG should be sub-µs, got {l0:.2}");
+        assert!(l2 > l0 + 2.0, "2 BSGs must hurt the LSG: {l2:.2} vs {l0:.2}");
+        assert!(l5 > l2 + 5.0, "5 BSGs must hurt more: {l5:.2} vs {l2:.2}");
+    }
+
+    #[test]
+    fn converged_bandwidth_is_shared_fairly() {
+        let spec = quick_spec(ClusterConfig::hardware());
+        let out = converged(&spec, 3, 4096, 1, false, QosMode::SharedSl);
+        assert_eq!(out.per_bsg_gbps.len(), 3);
+        let min = out.per_bsg_gbps.iter().cloned().fold(f64::MAX, f64::min);
+        let max = out.per_bsg_gbps.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min < 3.0, "unfair shares: {:?}", out.per_bsg_gbps);
+        assert!(
+            (40.0..56.0).contains(&out.total_gbps),
+            "total {:.1}",
+            out.total_gbps
+        );
+    }
+
+    #[test]
+    fn chain_latency_grows_per_hop() {
+        let spec = quick_spec(ClusterConfig::omnet_simulator());
+        let one = chain_latency(&spec, 1, 0).summary.p50_ns();
+        let three = chain_latency(&spec, 3, 0).summary.p50_ns();
+        // Each extra switch adds its pipeline twice per RTT (~400 ns).
+        let per_hop = (three - one) / 2.0;
+        assert!(
+            (300.0..600.0).contains(&per_hop),
+            "per-hop RTT cost {per_hop:.0} ns (1 switch {one:.0}, 3 switches {three:.0})"
+        );
+    }
+
+    #[test]
+    fn chain_congestion_dominates_path_length() {
+        let spec = quick_spec(ClusterConfig::omnet_simulator());
+        let short_loaded = chain_latency(&spec, 1, 3).summary.p50_us();
+        let long_loaded = chain_latency(&spec, 3, 3).summary.p50_us();
+        // Both are dominated by the 3 tail BSGs' buffers, not the hops.
+        assert!(short_loaded > 5.0);
+        assert!((long_loaded - short_loaded).abs() < 0.3 * short_loaded,
+            "short {short_loaded:.1} vs long {long_loaded:.1}");
+    }
+
+    #[test]
+    fn dedicated_sl_protects_the_lsg() {
+        let spec = quick_spec(ClusterConfig::hardware());
+        let shared = converged(&spec, 5, 4096, 1, true, QosMode::SharedSl);
+        let dedicated = converged(&spec, 5, 4096, 1, true, QosMode::DedicatedSl);
+        let l_shared = shared.lsg.unwrap().summary.p50_us();
+        let l_ded = dedicated.lsg.unwrap().summary.p50_us();
+        assert!(
+            l_ded < l_shared / 5.0,
+            "dedicated SL must slash LSG latency: {l_ded:.2} vs {l_shared:.2}"
+        );
+        // And it must not cost aggregate bandwidth (paper take-away).
+        assert!(
+            (dedicated.total_gbps - shared.total_gbps).abs() < 5.0,
+            "dedicated {:.1} vs shared {:.1}",
+            dedicated.total_gbps,
+            shared.total_gbps
+        );
+    }
+}

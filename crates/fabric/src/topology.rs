@@ -1,0 +1,496 @@
+//! Fabric construction and device wiring.
+
+use rperf_host::TscClock;
+use rperf_model::config::RnicConfig;
+use rperf_model::{ClusterConfig, Lid, NodeId, PortId};
+use rperf_rnic::Rnic;
+use rperf_sim::SimRng;
+use rperf_subnet::{plan, TopologySpec};
+use rperf_switch::{CreditLedger, Switch};
+
+/// What sits on the other end of a cable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// An RNIC port (by node index).
+    Rnic(usize),
+    /// A switch port.
+    SwitchPort(usize, PortId),
+}
+
+/// The assembled cluster: devices plus cabling.
+///
+/// Use the constructors ([`Fabric::direct_pair`], [`Fabric::single_switch`],
+/// [`Fabric::two_switch`]) or [`FabricBuilder`] for per-node overrides.
+#[derive(Debug)]
+pub struct Fabric {
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) rnics: Vec<Rnic>,
+    pub(crate) clocks: Vec<TscClock>,
+    pub(crate) switches: Vec<Switch>,
+    /// Peer of each RNIC's single port.
+    pub(crate) rnic_peer: Vec<Endpoint>,
+    /// Peer of each switch port (`None` = unconnected).
+    pub(crate) switch_peer: Vec<Vec<Option<Endpoint>>>,
+}
+
+impl Fabric {
+    /// Two hosts cabled back-to-back (no switch).
+    pub fn direct_pair(cfg: ClusterConfig, seed: u64) -> Fabric {
+        FabricBuilder::new(cfg, seed).direct_pair()
+    }
+
+    /// `nodes` hosts behind a single ToR switch.
+    ///
+    /// Node `i` attaches to switch port `i` and owns LID `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds the switch port count.
+    pub fn single_switch(cfg: ClusterConfig, nodes: usize, seed: u64) -> Fabric {
+        FabricBuilder::new(cfg, seed).single_switch(nodes)
+    }
+
+    /// Builds a fabric for an arbitrary planned topology (chains, stars,
+    /// custom graphs) with default device configurations.
+    pub fn from_spec(cfg: ClusterConfig, spec: &TopologySpec, seed: u64) -> Fabric {
+        FabricBuilder::new(cfg, seed).from_spec(spec)
+    }
+
+    /// Two switches in series: `upstream` hosts on switch 0, `downstream`
+    /// hosts on switch 1, joined by one inter-switch cable (the paper's
+    /// Section VIII-B multi-hop topology).
+    ///
+    /// Nodes `0..upstream` sit on switch 0; nodes `upstream..upstream +
+    /// downstream` on switch 1. The last port of each switch carries the
+    /// inter-switch link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side exceeds `ports - 1` hosts.
+    pub fn two_switch(cfg: ClusterConfig, upstream: usize, downstream: usize, seed: u64) -> Fabric {
+        FabricBuilder::new(cfg, seed).two_switch(upstream, downstream)
+    }
+
+    /// Number of hosts.
+    pub fn nodes(&self) -> usize {
+        self.rnics.len()
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The LID of a node.
+    pub fn lid_of(&self, node: usize) -> Lid {
+        self.rnics[node].lid()
+    }
+
+    /// The host clock of a node.
+    pub fn clock(&self, node: usize) -> &TscClock {
+        &self.clocks[node]
+    }
+
+    /// The RNIC of a node.
+    pub fn rnic(&self, node: usize) -> &Rnic {
+        &self.rnics[node]
+    }
+
+    /// Mutable access to the RNIC of a node.
+    pub fn rnic_mut(&mut self, node: usize) -> &mut Rnic {
+        &mut self.rnics[node]
+    }
+
+    /// The switches.
+    pub fn switch(&self, idx: usize) -> &Switch {
+        &self.switches[idx]
+    }
+
+    /// Number of switches.
+    pub fn switches_len(&self) -> usize {
+        self.switches.len()
+    }
+}
+
+/// Builds fabrics with optional per-node RNIC configuration overrides
+/// (used by the pretend-LSG experiments, where the adversary runs a more
+/// aggressive posting engine).
+#[derive(Debug)]
+pub struct FabricBuilder {
+    cfg: ClusterConfig,
+    seed: u64,
+    rnic_overrides: Vec<(usize, RnicConfig)>,
+}
+
+impl FabricBuilder {
+    /// Starts a builder from a cluster configuration and an experiment
+    /// seed.
+    pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid cluster configuration");
+        FabricBuilder {
+            cfg,
+            seed,
+            rnic_overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides the RNIC configuration of one node.
+    pub fn with_rnic_override(mut self, node: usize, rnic: RnicConfig) -> Self {
+        self.rnic_overrides.push((node, rnic));
+        self
+    }
+
+    fn rnic_cfg_for(&self, node: usize) -> RnicConfig {
+        self.rnic_overrides
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == node)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_else(|| self.cfg.rnic.clone())
+    }
+
+    fn make_nodes(&self, count: usize, rng: &mut SimRng) -> (Vec<Rnic>, Vec<TscClock>) {
+        let mut rnics = Vec::with_capacity(count);
+        let mut clocks = Vec::with_capacity(count);
+        for i in 0..count {
+            let cfg = self.rnic_cfg_for(i);
+            rnics.push(Rnic::new(
+                NodeId::new(i as u16),
+                Lid::new(i as u16 + 1),
+                cfg,
+                &self.cfg.link,
+                rng.fork(100 + i as u64),
+            ));
+            clocks.push(
+                TscClock::new(self.cfg.host.tsc_ghz, rng.fork(200 + i as u64).next_u64())
+                    .with_read_cost(self.cfg.host.tsc_read),
+            );
+        }
+        (rnics, clocks)
+    }
+
+    /// Builds the back-to-back two-host fabric.
+    pub fn direct_pair(self) -> Fabric {
+        let mut rng = SimRng::new(self.seed);
+        let (mut rnics, clocks) = self.make_nodes(2, &mut rng);
+        // Each RNIC holds credits for the peer's receive buffer.
+        let grant0 = rnics[1].advertised_credits();
+        let grant1 = rnics[0].advertised_credits();
+        rnics[0].set_peer_credits(grant0);
+        rnics[1].set_peer_credits(grant1);
+        Fabric {
+            cfg: self.cfg,
+            rnics,
+            clocks,
+            switches: Vec::new(),
+            rnic_peer: vec![Endpoint::Rnic(1), Endpoint::Rnic(0)],
+            switch_peer: Vec::new(),
+        }
+    }
+
+    /// Builds the single-switch rack.
+    pub fn single_switch(self, nodes: usize) -> Fabric {
+        assert!(
+            nodes <= self.cfg.switch.ports as usize,
+            "{} nodes exceed the {}-port switch",
+            nodes,
+            self.cfg.switch.ports
+        );
+        let mut rng = SimRng::new(self.seed);
+        let (mut rnics, clocks) = self.make_nodes(nodes, &mut rng);
+        let mut sw = Switch::new(
+            self.cfg.switch.clone(),
+            self.cfg.link.data_rate(),
+            rng.fork(999),
+        );
+        let mut switch_ports = vec![None; self.cfg.switch.ports as usize];
+        for (i, rnic) in rnics.iter_mut().enumerate() {
+            let port = PortId::new(i as u8);
+            sw.set_route(rnic.lid(), port);
+            sw.set_downstream_credits(port, rnic.advertised_credits());
+            rnic.set_peer_credits(CreditLedger::new(
+                self.cfg.switch.vls,
+                self.cfg.switch.input_buffer_bytes,
+            ));
+            switch_ports[i] = Some(Endpoint::Rnic(i));
+        }
+        Fabric {
+            cfg: self.cfg,
+            rnic_peer: (0..nodes)
+                .map(|i| Endpoint::SwitchPort(0, PortId::new(i as u8)))
+                .collect(),
+            rnics,
+            clocks,
+            switches: vec![sw],
+            switch_peer: vec![switch_ports],
+        }
+    }
+
+    /// Builds a fabric for an arbitrary multi-switch topology, using the
+    /// subnet planner for LID assignment, port allocation and
+    /// shortest-path forwarding — the general form of the constructors
+    /// above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology cannot be planned against the configured
+    /// switch port budget (see `rperf_subnet::SubnetError`).
+    pub fn from_spec(self, spec: &TopologySpec) -> Fabric {
+        let subnet = plan(spec, self.cfg.switch.ports)
+            .unwrap_or_else(|e| panic!("unplannable topology: {e}"));
+        let mut rng = SimRng::new(self.seed);
+        let (mut rnics, clocks) = self.make_nodes(spec.hosts(), &mut rng);
+        let ports = self.cfg.switch.ports as usize;
+        let vls = self.cfg.switch.vls;
+        let buffer = self.cfg.switch.input_buffer_bytes;
+
+        let mut switches: Vec<Switch> = (0..spec.switches())
+            .map(|i| {
+                Switch::new(
+                    self.cfg.switch.clone(),
+                    self.cfg.link.data_rate(),
+                    rng.fork(900 + i as u64),
+                )
+            })
+            .collect();
+        let mut switch_peer: Vec<Vec<Option<Endpoint>>> =
+            vec![vec![None; ports]; spec.switches()];
+        let mut rnic_peer = Vec::with_capacity(spec.hosts());
+
+        // Program forwarding tables.
+        for (sw_idx, table) in subnet.routes.iter().enumerate() {
+            for &(lid, port) in table {
+                switches[sw_idx].set_route(lid, port);
+            }
+        }
+        // Wire hosts.
+        for (host, &(sw, port)) in subnet.host_ports.iter().enumerate() {
+            switches[sw].set_downstream_credits(port, rnics[host].advertised_credits());
+            rnics[host].set_peer_credits(CreditLedger::new(vls, buffer));
+            switch_peer[sw][port.index()] = Some(Endpoint::Rnic(host));
+            rnic_peer.push(Endpoint::SwitchPort(sw, port));
+        }
+        // Wire trunks.
+        for &((a, pa), (b, pb)) in &subnet.trunk_ports {
+            switches[a].set_downstream_credits(pa, CreditLedger::new(vls, buffer));
+            switches[b].set_downstream_credits(pb, CreditLedger::new(vls, buffer));
+            switch_peer[a][pa.index()] = Some(Endpoint::SwitchPort(b, pb));
+            switch_peer[b][pb.index()] = Some(Endpoint::SwitchPort(a, pa));
+        }
+
+        Fabric {
+            cfg: self.cfg,
+            rnics,
+            clocks,
+            switches,
+            rnic_peer,
+            switch_peer,
+        }
+    }
+
+    /// Builds the two-switch multi-hop topology.
+    pub fn two_switch(self, upstream: usize, downstream: usize) -> Fabric {
+        let ports = self.cfg.switch.ports as usize;
+        assert!(upstream < ports, "too many upstream hosts");
+        assert!(downstream < ports, "too many downstream hosts");
+        let trunk = PortId::new(self.cfg.switch.ports - 1);
+
+        let mut rng = SimRng::new(self.seed);
+        let total = upstream + downstream;
+        let (mut rnics, clocks) = self.make_nodes(total, &mut rng);
+        let mut sw0 = Switch::new(
+            self.cfg.switch.clone(),
+            self.cfg.link.data_rate(),
+            rng.fork(998),
+        );
+        let mut sw1 = Switch::new(
+            self.cfg.switch.clone(),
+            self.cfg.link.data_rate(),
+            rng.fork(997),
+        );
+        let mut ports0 = vec![None; ports];
+        let mut ports1 = vec![None; ports];
+        let mut rnic_peer = Vec::with_capacity(total);
+
+        for (i, rnic) in rnics.iter_mut().enumerate() {
+            let (sw, sw_idx, port_list, port) = if i < upstream {
+                (&mut sw0, 0usize, &mut ports0, PortId::new(i as u8))
+            } else {
+                (
+                    &mut sw1,
+                    1usize,
+                    &mut ports1,
+                    PortId::new((i - upstream) as u8),
+                )
+            };
+            sw.set_route(rnic.lid(), port);
+            sw.set_downstream_credits(port, rnic.advertised_credits());
+            rnic.set_peer_credits(CreditLedger::new(
+                self.cfg.switch.vls,
+                self.cfg.switch.input_buffer_bytes,
+            ));
+            port_list[port.index()] = Some(Endpoint::Rnic(i));
+            rnic_peer.push(Endpoint::SwitchPort(sw_idx, port));
+        }
+
+        // Remote LIDs route over the trunk; each switch grants the other
+        // one input buffer per VL.
+        for i in 0..total {
+            let lid = Lid::new(i as u16 + 1);
+            if i < upstream {
+                sw1.set_route(lid, trunk);
+            } else {
+                sw0.set_route(lid, trunk);
+            }
+        }
+        let grant = CreditLedger::new(self.cfg.switch.vls, self.cfg.switch.input_buffer_bytes);
+        sw0.set_downstream_credits(trunk, grant.clone());
+        sw1.set_downstream_credits(trunk, grant);
+        ports0[trunk.index()] = Some(Endpoint::SwitchPort(1, trunk));
+        ports1[trunk.index()] = Some(Endpoint::SwitchPort(0, trunk));
+
+        Fabric {
+            cfg: self.cfg,
+            rnics,
+            clocks,
+            switches: vec![sw0, sw1],
+            rnic_peer,
+            switch_peer: vec![ports0, ports1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rperf_model::VirtualLane;
+
+    #[test]
+    fn direct_pair_wiring() {
+        let f = Fabric::direct_pair(ClusterConfig::hardware(), 1);
+        assert_eq!(f.nodes(), 2);
+        assert_eq!(f.switches_len(), 0);
+        assert_eq!(f.rnic_peer[0], Endpoint::Rnic(1));
+        assert_eq!(f.rnic_peer[1], Endpoint::Rnic(0));
+        assert_eq!(f.lid_of(0), Lid::new(1));
+        assert_eq!(f.lid_of(1), Lid::new(2));
+    }
+
+    #[test]
+    fn single_switch_wiring() {
+        let f = Fabric::single_switch(ClusterConfig::hardware(), 7, 1);
+        assert_eq!(f.nodes(), 7);
+        assert_eq!(f.switches_len(), 1);
+        for i in 0..7 {
+            assert_eq!(f.rnic_peer[i], Endpoint::SwitchPort(0, PortId::new(i as u8)));
+            assert_eq!(f.switch_peer[0][i], Some(Endpoint::Rnic(i)));
+        }
+        assert_eq!(f.switch_peer[0][7], None);
+    }
+
+    #[test]
+    fn two_switch_wiring_routes_over_trunk() {
+        let f = Fabric::two_switch(ClusterConfig::hardware(), 3, 4, 1);
+        assert_eq!(f.nodes(), 7);
+        assert_eq!(f.switches_len(), 2);
+        let trunk = PortId::new(11);
+        assert_eq!(f.switch_peer[0][trunk.index()], Some(Endpoint::SwitchPort(1, trunk)));
+        assert_eq!(f.switch_peer[1][trunk.index()], Some(Endpoint::SwitchPort(0, trunk)));
+        // Upstream node 0 is local to switch 0, remote to switch 1.
+        assert_eq!(f.rnic_peer[0], Endpoint::SwitchPort(0, PortId::new(0)));
+        // Downstream node 3 attaches to switch 1 port 0.
+        assert_eq!(f.rnic_peer[3], Endpoint::SwitchPort(1, PortId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_nodes_rejected() {
+        let _ = Fabric::single_switch(ClusterConfig::hardware(), 13, 1);
+    }
+
+    #[test]
+    fn rnic_override_applies() {
+        let mut cfg = ClusterConfig::hardware();
+        cfg.rnic.mtu = 4096;
+        let mut special = cfg.rnic.clone();
+        special.wqe_engine = rperf_sim::SimDuration::from_ns(70);
+        let f = FabricBuilder::new(cfg, 1)
+            .with_rnic_override(2, special.clone())
+            .single_switch(4);
+        assert_eq!(f.rnic(2).config().wqe_engine, special.wqe_engine);
+        assert_ne!(f.rnic(1).config().wqe_engine, special.wqe_engine);
+    }
+
+    #[test]
+    fn clocks_have_distinct_offsets() {
+        let f = Fabric::single_switch(ClusterConfig::hardware(), 3, 7);
+        let t = rperf_sim::SimTime::from_us(1);
+        let a = f.clock(0).read(t);
+        let b = f.clock(1).read(t);
+        assert_ne!(a, b, "per-host TSC epochs must differ");
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Fabric::single_switch(ClusterConfig::hardware(), 5, 42);
+        let b = Fabric::single_switch(ClusterConfig::hardware(), 5, 42);
+        let t = rperf_sim::SimTime::from_us(3);
+        for i in 0..5 {
+            assert_eq!(a.clock(i).read(t), b.clock(i).read(t));
+        }
+    }
+
+    #[test]
+    fn switch_knows_rnic_credit_grants() {
+        let f = Fabric::single_switch(ClusterConfig::hardware(), 2, 1);
+        // The switch's credits toward node 0 equal the RNIC's advertisement.
+        let adv = f.rnic(0).advertised_credits();
+        assert_eq!(
+            adv.available(VirtualLane::new(0)),
+            f.config().rnic.rx_buffer_bytes
+        );
+    }
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+    use rperf_subnet::TopologySpec;
+
+    #[test]
+    fn from_spec_reproduces_the_two_switch_wiring() {
+        let cfg = ClusterConfig::hardware();
+        let spec = TopologySpec::chain(2, &[3, 4]);
+        let f = Fabric::from_spec(cfg, &spec, 1);
+        assert_eq!(f.nodes(), 7);
+        assert_eq!(f.switches_len(), 2);
+        // Hosts take the low ports; trunks follow.
+        assert_eq!(f.rnic_peer[0], Endpoint::SwitchPort(0, PortId::new(0)));
+        assert_eq!(f.rnic_peer[3], Endpoint::SwitchPort(1, PortId::new(0)));
+        assert_eq!(
+            f.switch_peer[0][3],
+            Some(Endpoint::SwitchPort(1, PortId::new(4)))
+        );
+    }
+
+    #[test]
+    fn from_spec_builds_chains_and_stars() {
+        let cfg = ClusterConfig::hardware();
+        let chain = Fabric::from_spec(cfg.clone(), &TopologySpec::chain(4, &[1, 0, 0, 1]), 1);
+        assert_eq!(chain.nodes(), 2);
+        assert_eq!(chain.switches_len(), 4);
+        let star = Fabric::from_spec(cfg, &TopologySpec::star(3, 2), 1);
+        assert_eq!(star.nodes(), 6);
+        assert_eq!(star.switches_len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unplannable")]
+    fn from_spec_rejects_overloaded_switches() {
+        let _ = Fabric::from_spec(
+            ClusterConfig::hardware(),
+            &TopologySpec::single_switch(20),
+            1,
+        );
+    }
+}

@@ -1,0 +1,720 @@
+//! The event world: device event routing and the application layer.
+
+use std::any::Any;
+
+use rperf_host::{Tsc, TscClock};
+use rperf_model::{ClusterConfig, Lid, Packet, PortId, QpNum, Transport, VirtualLane};
+use rperf_rnic::RnicAction;
+use rperf_sim::{run, EventQueue, SimDuration, SimTime, StopCondition, World};
+use rperf_switch::SwitchAction;
+use rperf_verbs::{Cqe, RecvWr, SendWr, VerbsError};
+
+use crate::topology::{Endpoint, Fabric};
+use crate::trace::{TraceEvent, Tracer};
+
+/// An event flowing through the assembled fabric.
+#[derive(Debug, Clone)]
+pub enum FabricEvent {
+    /// An RNIC's self-scheduled wake-up.
+    RnicWake(usize),
+    /// A packet's last bit reaches an RNIC.
+    RnicPacket {
+        /// Destination node.
+        node: usize,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Flow-control credits reach an RNIC.
+    RnicCredit {
+        /// The node.
+        node: usize,
+        /// Virtual lane.
+        vl: VirtualLane,
+        /// Returned bytes.
+        bytes: u64,
+    },
+    /// A packet's first bit reaches a switch ingress (cut-through).
+    SwitchPacket {
+        /// The switch.
+        switch: usize,
+        /// Ingress port.
+        ingress: PortId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A switch egress wake-up.
+    SwitchWake {
+        /// The switch.
+        switch: usize,
+        /// Egress port to re-arbitrate.
+        egress: PortId,
+    },
+    /// Credits return to a switch egress from its downstream peer.
+    SwitchCredit {
+        /// The switch.
+        switch: usize,
+        /// The egress port the credits apply to.
+        egress: PortId,
+        /// Virtual lane.
+        vl: VirtualLane,
+        /// Returned bytes.
+        bytes: u64,
+    },
+    /// A completion becomes visible to the application on `node`.
+    AppCqe {
+        /// The node.
+        node: usize,
+        /// The completion.
+        cqe: Cqe,
+    },
+    /// An application timer fires.
+    AppTimer {
+        /// The node whose app set the timer.
+        node: usize,
+        /// Opaque token chosen by the app.
+        token: u64,
+    },
+}
+
+/// The application interface: measurement tools and traffic generators
+/// implement this and are attached to nodes with [`Sim::add_app`].
+pub trait App {
+    /// Called once when the simulation starts.
+    fn start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Called when a completion becomes visible on this node.
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_>, cqe: Cqe);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Downcasting hook for result extraction after a run.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// The app's window into the fabric.
+pub struct Ctx<'a> {
+    now: SimTime,
+    node: usize,
+    fabric: &'a mut Fabric,
+    q: &'a mut EventQueue<FabricEvent>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this app runs on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The LID of any node.
+    pub fn lid_of(&self, node: usize) -> Lid {
+        self.fabric.lid_of(node)
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        self.fabric.config()
+    }
+
+    /// This host's TSC clock.
+    pub fn clock(&self) -> &TscClock {
+        self.fabric.clock(self.node)
+    }
+
+    /// Reads this host's TSC at the current instant.
+    pub fn read_tsc(&self) -> Tsc {
+        self.clock().read(self.now)
+    }
+
+    /// Creates a queue pair on this node's RNIC.
+    pub fn create_qp(&mut self, transport: Transport) -> QpNum {
+        self.fabric.rnic_mut(self.node).create_qp(transport)
+    }
+
+    /// Posts a send work request on this node's RNIC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verbs validation errors.
+    pub fn post_send(&mut self, qp: QpNum, wr: SendWr) -> Result<(), VerbsError> {
+        let actions = self.fabric.rnic_mut(self.node).post_send(self.now, qp, wr)?;
+        apply_rnic_actions(self.fabric, self.q, self.node, self.now, actions);
+        Ok(())
+    }
+
+    /// Posts a batch of send work requests with one doorbell.
+    ///
+    /// # Errors
+    ///
+    /// If any work request fails validation, nothing is enqueued.
+    pub fn post_send_batch(&mut self, qp: QpNum, wrs: Vec<SendWr>) -> Result<(), VerbsError> {
+        let actions = self
+            .fabric
+            .rnic_mut(self.node)
+            .post_send_batch(self.now, qp, wrs)?;
+        apply_rnic_actions(self.fabric, self.q, self.node, self.now, actions);
+        Ok(())
+    }
+
+    /// Pre-posts a receive buffer.
+    pub fn post_recv(&mut self, qp: QpNum, wr: RecvWr) {
+        self.fabric.rnic_mut(self.node).post_recv(qp, wr);
+    }
+
+    /// Schedules an [`App::on_timer`] callback `delay` from now.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.q.schedule(
+            self.now + delay,
+            FabricEvent::AppTimer {
+                node: self.node,
+                token,
+            },
+        );
+    }
+}
+
+fn apply_rnic_actions(
+    fabric: &mut Fabric,
+    q: &mut EventQueue<FabricEvent>,
+    node: usize,
+    now: SimTime,
+    actions: Vec<RnicAction>,
+) {
+    let prop = fabric.cfg.link.propagation;
+    let peer = fabric.rnic_peer[node];
+    for a in actions {
+        match a {
+            RnicAction::Wake { at } => q.schedule(at, FabricEvent::RnicWake(node)),
+            RnicAction::Transmit { packet, serialize } => match peer {
+                Endpoint::Rnic(j) => q.schedule(
+                    now + serialize + prop,
+                    FabricEvent::RnicPacket { node: j, packet },
+                ),
+                Endpoint::SwitchPort(s, p) => q.schedule(
+                    now + prop,
+                    FabricEvent::SwitchPacket {
+                        switch: s,
+                        ingress: p,
+                        packet,
+                    },
+                ),
+            },
+            RnicAction::ReturnCredit { vl, bytes, after } => match peer {
+                Endpoint::Rnic(j) => q.schedule(
+                    now + after + prop,
+                    FabricEvent::RnicCredit { node: j, vl, bytes },
+                ),
+                Endpoint::SwitchPort(s, p) => q.schedule(
+                    now + after + prop,
+                    FabricEvent::SwitchCredit {
+                        switch: s,
+                        egress: p,
+                        vl,
+                        bytes,
+                    },
+                ),
+            },
+            RnicAction::Complete { cqe } => q.schedule(
+                cqe.visible_at.max(now),
+                FabricEvent::AppCqe { node, cqe },
+            ),
+        }
+    }
+}
+
+fn apply_switch_actions(
+    fabric: &mut Fabric,
+    q: &mut EventQueue<FabricEvent>,
+    switch: usize,
+    now: SimTime,
+    actions: Vec<SwitchAction>,
+) {
+    let prop = fabric.cfg.link.propagation;
+    for a in actions {
+        match a {
+            SwitchAction::Wake { egress, at } => {
+                q.schedule(at, FabricEvent::SwitchWake { switch, egress })
+            }
+            SwitchAction::Transmit {
+                egress,
+                packet,
+                start_after,
+                serialize,
+            } => match fabric.switch_peer[switch][egress.index()] {
+                Some(Endpoint::Rnic(j)) => q.schedule(
+                    now + start_after + serialize + prop,
+                    FabricEvent::RnicPacket { node: j, packet },
+                ),
+                Some(Endpoint::SwitchPort(s2, p2)) => q.schedule(
+                    now + start_after + prop,
+                    FabricEvent::SwitchPacket {
+                        switch: s2,
+                        ingress: p2,
+                        packet,
+                    },
+                ),
+                None => panic!("switch {switch} transmits on unconnected {egress}"),
+            },
+            SwitchAction::ReturnCredit { ingress, vl, bytes } => {
+                match fabric.switch_peer[switch][ingress.index()] {
+                    Some(Endpoint::Rnic(j)) => q.schedule(
+                        now + prop,
+                        FabricEvent::RnicCredit { node: j, vl, bytes },
+                    ),
+                    Some(Endpoint::SwitchPort(s2, p2)) => q.schedule(
+                        now + prop,
+                        FabricEvent::SwitchCredit {
+                            switch: s2,
+                            egress: p2,
+                            vl,
+                            bytes,
+                        },
+                    ),
+                    None => panic!("switch {switch} returns credit on unconnected {ingress}"),
+                }
+            }
+        }
+    }
+}
+
+struct WorldState {
+    fabric: Fabric,
+    /// One optional app per node (taken out during callbacks).
+    apps: Vec<Option<Box<dyn App>>>,
+    tracer: Option<Tracer>,
+}
+
+impl World for WorldState {
+    type Event = FabricEvent;
+
+    fn handle(&mut self, now: SimTime, event: FabricEvent, q: &mut EventQueue<FabricEvent>) {
+        if let Some(tracer) = &mut self.tracer {
+            match &event {
+                FabricEvent::SwitchPacket { switch, ingress, packet } => tracer.record(
+                    now,
+                    TraceEvent::SwitchIngress {
+                        switch: *switch,
+                        ingress: *ingress,
+                        packet: packet.id,
+                        payload: packet.payload,
+                    },
+                ),
+                FabricEvent::RnicPacket { node, packet } => tracer.record(
+                    now,
+                    TraceEvent::HostArrival {
+                        node: *node,
+                        packet: packet.id,
+                        payload: packet.payload,
+                    },
+                ),
+                FabricEvent::AppCqe { node, cqe } => tracer.record(
+                    now,
+                    TraceEvent::Completion {
+                        node: *node,
+                        wr_id: cqe.wr_id.0,
+                    },
+                ),
+                _ => {}
+            }
+        }
+        match event {
+            FabricEvent::RnicWake(node) => {
+                let actions = self.fabric.rnics[node].wake(now);
+                apply_rnic_actions(&mut self.fabric, q, node, now, actions);
+            }
+            FabricEvent::RnicPacket { node, packet } => {
+                let actions = self.fabric.rnics[node].packet_arrival(now, packet);
+                apply_rnic_actions(&mut self.fabric, q, node, now, actions);
+            }
+            FabricEvent::RnicCredit { node, vl, bytes } => {
+                let actions = self.fabric.rnics[node].credit_from_peer(now, vl, bytes);
+                apply_rnic_actions(&mut self.fabric, q, node, now, actions);
+            }
+            FabricEvent::SwitchPacket {
+                switch,
+                ingress,
+                packet,
+            } => {
+                let actions = self.fabric.switches[switch].packet_arrival(now, ingress, packet);
+                apply_switch_actions(&mut self.fabric, q, switch, now, actions);
+            }
+            FabricEvent::SwitchWake { switch, egress } => {
+                let actions = self.fabric.switches[switch].egress_wake(now, egress);
+                apply_switch_actions(&mut self.fabric, q, switch, now, actions);
+            }
+            FabricEvent::SwitchCredit {
+                switch,
+                egress,
+                vl,
+                bytes,
+            } => {
+                let actions =
+                    self.fabric.switches[switch].credit_from_downstream(now, egress, vl, bytes);
+                apply_switch_actions(&mut self.fabric, q, switch, now, actions);
+            }
+            FabricEvent::AppCqe { node, cqe } => {
+                self.with_app(node, now, q, |app, ctx| app.on_cqe(ctx, cqe));
+            }
+            FabricEvent::AppTimer { node, token } => {
+                self.with_app(node, now, q, |app, ctx| app.on_timer(ctx, token));
+            }
+        }
+    }
+}
+
+impl WorldState {
+    fn with_app<F>(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        q: &mut EventQueue<FabricEvent>,
+        f: F,
+    ) where
+        F: FnOnce(&mut dyn App, &mut Ctx<'_>),
+    {
+        let Some(mut app) = self.apps[node].take() else {
+            return; // completion on a node without an app: dropped
+        };
+        {
+            let mut ctx = Ctx {
+                now,
+                node,
+                fabric: &mut self.fabric,
+                q,
+            };
+            f(app.as_mut(), &mut ctx);
+        }
+        self.apps[node] = Some(app);
+    }
+}
+
+/// A ready-to-run simulation: a fabric, its applications and the event
+/// queue.
+///
+/// # Examples
+///
+/// See the `quickstart` example at the repository root, or any test in
+/// `rperf-workloads`.
+pub struct Sim {
+    world: WorldState,
+    q: EventQueue<FabricEvent>,
+    started: bool,
+}
+
+impl Sim {
+    /// Wraps a fabric.
+    pub fn new(fabric: Fabric) -> Self {
+        let nodes = fabric.nodes();
+        Sim {
+            world: WorldState {
+                fabric,
+                apps: (0..nodes).map(|_| None).collect(),
+                tracer: None,
+            },
+            q: EventQueue::new(),
+            started: false,
+        }
+    }
+
+    /// Enables packet tracing with a bounded buffer of `capacity` records.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.world.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// The trace collected so far (if tracing is enabled).
+    pub fn trace(&self) -> Option<&Tracer> {
+        self.world.tracer.as_ref()
+    }
+
+    /// Attaches an app to a node (replacing any previous app).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or the simulation already started.
+    pub fn add_app(&mut self, node: usize, app: Box<dyn App>) {
+        assert!(!self.started, "apps must be attached before start()");
+        self.world.apps[node] = Some(app);
+    }
+
+    /// Calls every app's [`App::start`] (in node order).
+    pub fn start(&mut self) {
+        assert!(!self.started, "start() may only be called once");
+        self.started = true;
+        for node in 0..self.world.apps.len() {
+            let now = self.q.now();
+            let q = &mut self.q;
+            self.world.with_app(node, now, q, |app, ctx| app.start(ctx));
+        }
+    }
+
+    /// Runs until the horizon (exclusive) or until the queue drains.
+    pub fn run_until(&mut self, t: SimTime) {
+        run(&mut self.world, &mut self.q, StopCondition::At(t));
+    }
+
+    /// Runs until the event queue drains completely.
+    pub fn run_to_quiescence(&mut self) {
+        run(&mut self.world, &mut self.q, StopCondition::QueueEmpty);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// Total events processed so far (simulator throughput diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.q.popped()
+    }
+
+    /// The fabric (for stats extraction).
+    pub fn fabric(&self) -> &Fabric {
+        &self.world.fabric
+    }
+
+    /// Mutable fabric access (pre-start configuration).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.world.fabric
+    }
+
+    /// Downcasts the app on `node` to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no app or the type does not match.
+    pub fn app_as<T: App + 'static>(&self, node: usize) -> &T {
+        self.world.apps[node]
+            .as_ref()
+            .expect("node has no app")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("app type mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rperf_model::{ClusterConfig, Verb};
+    use rperf_verbs::{CqeOpcode, WrId};
+
+    /// Sends one RC SEND at start; records completion times.
+    struct OneShot {
+        target: usize,
+        payload: u64,
+        qp: Option<QpNum>,
+        send_done: Option<SimTime>,
+    }
+
+    impl OneShot {
+        fn new(target: usize, payload: u64) -> Self {
+            OneShot {
+                target,
+                payload,
+                qp: None,
+                send_done: None,
+            }
+        }
+    }
+
+    impl App for OneShot {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            let qp = ctx.create_qp(Transport::Rc);
+            self.qp = Some(qp);
+            let wr = SendWr::new(WrId(1), Verb::Send, self.payload)
+                .to(ctx.lid_of(self.target), QpNum::new(1));
+            ctx.post_send(qp, wr).unwrap();
+        }
+
+        fn on_cqe(&mut self, ctx: &mut Ctx<'_>, cqe: Cqe) {
+            if cqe.opcode == CqeOpcode::Send {
+                self.send_done = Some(ctx.now());
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Counts received messages and bytes.
+    struct Sink {
+        recvs: u64,
+        bytes: u64,
+        last_at: SimTime,
+    }
+
+    impl Sink {
+        fn new() -> Self {
+            Sink {
+                recvs: 0,
+                bytes: 0,
+                last_at: SimTime::ZERO,
+            }
+        }
+    }
+
+    impl App for Sink {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            let qp = ctx.create_qp(Transport::Rc);
+            for i in 0..1024 {
+                ctx.post_recv(qp, RecvWr::new(WrId(i), 1 << 20));
+            }
+        }
+
+        fn on_cqe(&mut self, ctx: &mut Ctx<'_>, cqe: Cqe) {
+            if cqe.opcode == CqeOpcode::Recv {
+                self.recvs += 1;
+                self.bytes += cqe.bytes;
+                self.last_at = ctx.now();
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn run_pair(through_switch: bool, payload: u64) -> (SimTime, u64) {
+        let cfg = ClusterConfig::omnet_simulator();
+        let fabric = if through_switch {
+            Fabric::single_switch(cfg, 2, 7)
+        } else {
+            Fabric::direct_pair(cfg, 7)
+        };
+        let mut sim = Sim::new(fabric);
+        sim.add_app(0, Box::new(OneShot::new(1, payload)));
+        sim.add_app(1, Box::new(Sink::new()));
+        sim.start();
+        sim.run_to_quiescence();
+        let sender = sim.app_as::<OneShot>(0);
+        let sink = sim.app_as::<Sink>(1);
+        assert_eq!(sink.recvs, 1);
+        assert_eq!(sink.bytes, payload);
+        (sender.send_done.expect("send completed"), sink.bytes)
+    }
+
+    #[test]
+    fn end_to_end_send_completes_direct() {
+        let (done, bytes) = run_pair(false, 64);
+        assert_eq!(bytes, 64);
+        // Sanity: completes within a few microseconds.
+        assert!(done < SimTime::from_us(5), "done at {done}");
+        assert!(done > SimTime::ZERO);
+    }
+
+    #[test]
+    fn switch_adds_latency() {
+        let (direct, _) = run_pair(false, 64);
+        let (switched, _) = run_pair(true, 64);
+        let delta = switched - direct;
+        // One switch traversal per direction: roughly 2 × (pipeline + prop).
+        assert!(
+            delta > SimDuration::from_ns(300),
+            "switch should add ≥ 300 ns to the RTT, added {delta}"
+        );
+        assert!(
+            delta < SimDuration::from_ns(800),
+            "switch delta implausibly large: {delta}"
+        );
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let (a, _) = run_pair(true, 4096);
+        let (b, _) = run_pair(true, 4096);
+        assert_eq!(a, b, "same seed must give identical timing");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerApp {
+            fired: Vec<u64>,
+        }
+        impl App for TimerApp {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_ns(300), 3);
+                ctx.set_timer(SimDuration::from_ns(100), 1);
+                ctx.set_timer(SimDuration::from_ns(200), 2);
+            }
+            fn on_cqe(&mut self, _: &mut Ctx<'_>, _: Cqe) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(Fabric::direct_pair(ClusterConfig::omnet_simulator(), 1));
+        sim.add_app(0, Box::new(TimerApp { fired: vec![] }));
+        sim.start();
+        sim.run_to_quiescence();
+        assert_eq!(sim.app_as::<TimerApp>(0).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bulk_transfer_through_switch_reaches_wire_rate() {
+        // 200 × 4096 B messages: the sink's goodput should be close to the
+        // wire-limited prediction.
+        struct Blaster {
+            target: usize,
+            outstanding: u64,
+            remaining: u64,
+            qp: Option<QpNum>,
+        }
+        impl App for Blaster {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                let qp = ctx.create_qp(Transport::Rc);
+                self.qp = Some(qp);
+                let wrs: Vec<SendWr> = (0..self.outstanding)
+                    .map(|i| {
+                        SendWr::new(WrId(i), Verb::Send, 4096)
+                            .to(ctx.lid_of(self.target), QpNum::new(1))
+                    })
+                    .collect();
+                self.remaining -= self.outstanding;
+                ctx.post_send_batch(qp, wrs).unwrap();
+            }
+            fn on_cqe(&mut self, ctx: &mut Ctx<'_>, cqe: Cqe) {
+                if cqe.opcode == CqeOpcode::Send && self.remaining > 0 {
+                    self.remaining -= 1;
+                    let wr = SendWr::new(cqe.wr_id, Verb::Send, 4096)
+                        .to(ctx.lid_of(self.target), QpNum::new(1));
+                    ctx.post_send(self.qp.unwrap(), wr).unwrap();
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let cfg = ClusterConfig::omnet_simulator();
+        let expected = rperf_model::analytic::wire_limited_goodput_gbps(&cfg, 4096);
+        let mut sim = Sim::new(Fabric::single_switch(cfg, 2, 3));
+        sim.add_app(
+            0,
+            Box::new(Blaster {
+                target: 1,
+                outstanding: 32,
+                remaining: 200,
+                qp: None,
+            }),
+        );
+        sim.add_app(1, Box::new(Sink::new()));
+        sim.start();
+        sim.run_to_quiescence();
+        let sink = sim.app_as::<Sink>(1);
+        assert_eq!(sink.recvs, 200);
+        let elapsed = sink.last_at - SimTime::ZERO;
+        let gbps = sink.bytes as f64 * 8.0 / elapsed.as_secs_f64() / 1e9;
+        assert!(
+            gbps > expected * 0.85,
+            "goodput {gbps:.1} Gbps too far below wire limit {expected:.1}"
+        );
+        assert!(gbps <= expected * 1.02, "goodput {gbps:.1} above wire limit");
+    }
+}

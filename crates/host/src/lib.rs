@@ -1,0 +1,27 @@
+//! Host-side timing models: the TSC clock and software execution costs.
+//!
+//! The paper's measurement methodology rests on user-space `rdtsc`
+//! timestamping (Section IV, "Additional details"): RPerf pins threads,
+//! uses huge pages, and follows Intel's TSC calibration guidance. This
+//! crate models exactly the properties that matter for measurement
+//! fidelity:
+//!
+//! * [`TscClock`] — converts simulated time to cycle-quantized timestamps
+//!   at a configurable frequency (2.2 GHz for the testbed's Xeon E5-2630
+//!   v4), with a per-read cost and an arbitrary per-host epoch offset, so
+//!   cross-host timestamp comparison is meaningless — just like real
+//!   unsynchronized TSCs, and the reason the paper rejects one-way latency
+//!   measurement.
+//! * [`SoftwareModel`] — bounded software step costs with occasional
+//!   OS-induced spikes, and poll-loop detection latency: a completion is
+//!   *visible* when the RNIC's DMA lands, but software only notices it at
+//!   its next poll iteration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod software;
+mod tsc;
+
+pub use software::SoftwareModel;
+pub use tsc::{Tsc, TscClock};

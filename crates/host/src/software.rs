@@ -1,0 +1,126 @@
+//! Software execution-cost models.
+
+use rperf_model::config::HostConfig;
+use rperf_sim::{SimDuration, SimRng};
+
+/// Models the software side of a pinned measurement/generator thread:
+/// bounded per-step costs with occasional OS-induced spikes, and poll-loop
+/// completion-detection latency.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_host::SoftwareModel;
+/// use rperf_model::ClusterConfig;
+/// use rperf_sim::{SimDuration, SimRng};
+///
+/// let cfg = ClusterConfig::hardware().host;
+/// let mut sw = SoftwareModel::new(cfg, SimRng::new(7));
+/// let cost = sw.step(SimDuration::from_ns(150));
+/// assert!(cost >= SimDuration::from_ns(150));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoftwareModel {
+    cfg: HostConfig,
+    rng: SimRng,
+}
+
+impl SoftwareModel {
+    /// Creates a software model from host parameters and a noise stream.
+    pub fn new(cfg: HostConfig, rng: SimRng) -> Self {
+        SoftwareModel { cfg, rng }
+    }
+
+    /// The host parameters.
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    /// The cost of one software step with nominal cost `base`: the base
+    /// plus, with probability `sw_spike_prob`, an OS interference spike.
+    pub fn step(&mut self, base: SimDuration) -> SimDuration {
+        let mut cost = base;
+        if self.cfg.sw_spike_prob > 0.0 && self.rng.chance(self.cfg.sw_spike_prob) {
+            cost += self
+                .rng
+                .uniform_duration(self.cfg.sw_spike_min, self.cfg.sw_spike_max);
+        }
+        cost
+    }
+
+    /// Poll-loop detection latency: a completion that lands mid-iteration
+    /// is noticed at the next poll, uniformly distributed over one poll
+    /// period, plus the timestamp-read cost.
+    ///
+    /// `poll_period` is the tool's spin-loop iteration time — a tight
+    /// RPerf loop is a few nanoseconds; heavier tools poll more coarsely.
+    pub fn poll_detect(&mut self, poll_period: SimDuration) -> SimDuration {
+        let phase = if poll_period == SimDuration::ZERO {
+            SimDuration::ZERO
+        } else {
+            self.rng.uniform_duration(SimDuration::ZERO, poll_period)
+        };
+        phase + self.cfg.tsc_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rperf_model::ClusterConfig;
+
+    fn model(spike_prob: f64) -> SoftwareModel {
+        let mut cfg = ClusterConfig::hardware().host;
+        cfg.sw_spike_prob = spike_prob;
+        SoftwareModel::new(cfg, SimRng::new(3))
+    }
+
+    #[test]
+    fn step_without_spikes_is_exact() {
+        let mut sw = model(0.0);
+        for _ in 0..100 {
+            assert_eq!(sw.step(SimDuration::from_ns(150)), SimDuration::from_ns(150));
+        }
+    }
+
+    #[test]
+    fn spikes_occur_at_configured_rate() {
+        let mut sw = model(0.5);
+        let base = SimDuration::from_ns(100);
+        let spiked = (0..10_000).filter(|_| sw.step(base) > base).count();
+        assert!(
+            (4_000..6_000).contains(&spiked),
+            "expected ~5000 spikes, got {spiked}"
+        );
+    }
+
+    #[test]
+    fn spike_magnitude_bounded() {
+        let mut sw = model(1.0);
+        let base = SimDuration::from_ns(100);
+        let lo = base + sw.config().sw_spike_min;
+        let hi = base + sw.config().sw_spike_max;
+        for _ in 0..1000 {
+            let c = sw.step(base);
+            assert!(c >= lo && c < hi, "cost {c} out of [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn poll_detect_within_period_plus_read() {
+        let mut sw = model(0.0);
+        let period = SimDuration::from_ns(40);
+        let read = sw.config().tsc_read;
+        for _ in 0..1000 {
+            let d = sw.poll_detect(period);
+            assert!(d >= read);
+            assert!(d < period + read);
+        }
+    }
+
+    #[test]
+    fn zero_period_poll_costs_only_the_read() {
+        let mut sw = model(0.0);
+        assert_eq!(sw.poll_detect(SimDuration::ZERO), sw.config().tsc_read);
+    }
+}

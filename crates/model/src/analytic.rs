@@ -1,0 +1,168 @@
+//! Closed-form models from the paper, used for validation and as oracles
+//! in integration tests.
+
+use rperf_sim::SimDuration;
+
+use crate::config::ClusterConfig;
+use crate::units::LinkRate;
+
+/// Eq. 2 of the paper: the minimum FCFS waiting time of a latency-sensitive
+/// packet when `n_full_buffers` converged input buffers are full.
+///
+/// `W_t = N × BufferSize / LinkBandwidth`
+///
+/// # Examples
+///
+/// ```
+/// use rperf_model::analytic::fcfs_waiting_time;
+/// use rperf_model::units::LinkRate;
+///
+/// // The paper's own instantiation: 32 KB buffers at 56 Gbps ⇒ ~4.7 µs per
+/// // buffer (the paper quotes 3.6 µs using a slightly different effective
+/// // rate; the slope per BSG is the quantity of interest).
+/// let w = fcfs_waiting_time(1, 32 * 1024, LinkRate::from_gbps(56.0));
+/// assert!((w.as_us_f64() - 4.68).abs() < 0.01);
+/// ```
+pub fn fcfs_waiting_time(n_full_buffers: u32, buffer_bytes: u64, rate: LinkRate) -> SimDuration {
+    rate.serialize_time(buffer_bytes).times(n_full_buffers as u64)
+}
+
+/// The wire-limited payload goodput for a given payload size: the fraction
+/// of the data rate left after per-packet header overhead.
+pub fn wire_limited_goodput_gbps(cfg: &ClusterConfig, payload: u64) -> f64 {
+    let oh = cfg.rnic.headers.data_overhead(
+        crate::wire::Verb::Send,
+        crate::wire::Transport::Rc,
+        true,
+    );
+    let data_rate = cfg.link.data_rate().as_gbps();
+    data_rate * payload as f64 / (payload + oh) as f64
+}
+
+/// The message-rate-limited goodput in Gbps for single-packet messages
+/// posted one WQE at a time.
+pub fn rate_limited_goodput_gbps(cfg: &ClusterConfig, payload: u64) -> f64 {
+    let per_msg = cfg.rnic.engine_time(cfg.rnic.packets_for(payload));
+    let mpps = 1e6 / per_msg.as_ns_f64() * 1e-3; // messages per microsecond → Mpps
+    mpps * 1e6 * payload as f64 * 8.0 / 1e9
+}
+
+/// The predicted one-to-one BSG goodput: the tighter of the wire and
+/// message-rate limits (Fig. 5's shape).
+pub fn predicted_goodput_gbps(cfg: &ClusterConfig, payload: u64) -> f64 {
+    wire_limited_goodput_gbps(cfg, payload).min(rate_limited_goodput_gbps(cfg, payload))
+}
+
+/// A rough zero-load RTT decomposition for an RPerf-style measurement
+/// (used as a sanity oracle, not as the simulation itself): serialization
+/// asymmetry between wire and loopback paths, two propagation delays, ACK
+/// serialization and turnarounds, minus the extra engine slot the loopback
+/// WQE pays.
+pub fn rperf_zero_load_rtt_estimate(
+    cfg: &ClusterConfig,
+    payload: u64,
+    through_switch: bool,
+) -> SimDuration {
+    let rnic = &cfg.rnic;
+    let data_rate = cfg.link.data_rate();
+    let oh = rnic
+        .headers
+        .data_overhead(crate::wire::Verb::Send, crate::wire::Transport::Rc, true);
+    let wire_size = payload + oh;
+    let s_wire = data_rate.serialize_time(wire_size);
+    let s_loop = data_rate
+        .scaled(rnic.loopback_factor)
+        .serialize_time(wire_size);
+    let s_ack = data_rate.serialize_time(rnic.headers.ack_overhead());
+    let mut rtt = s_wire.saturating_sub(s_loop)
+        + cfg.link.propagation * 2
+        + s_ack
+        + rnic.ack_turnaround
+        + rnic.ack_rx
+        + rnic.rx_per_packet * 2;
+    rtt = rtt.saturating_sub(rnic.wqe_engine + rnic.tx_per_packet);
+    rtt = rtt.saturating_sub(rnic.loopback_turnaround);
+    if through_switch {
+        rtt += (cfg.switch.pipeline_latency + cfg.switch.arb_scan_per_port + cfg.link.propagation)
+            * 2;
+    }
+    rtt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterConfig;
+
+    #[test]
+    fn eq2_scales_linearly() {
+        let rate = LinkRate::from_gbps(56.0);
+        let one = fcfs_waiting_time(1, 32 * 1024, rate);
+        let five = fcfs_waiting_time(5, 32 * 1024, rate);
+        assert_eq!(five.as_ps(), one.as_ps() * 5);
+    }
+
+    #[test]
+    fn eq2_paper_magnitude() {
+        // 5 full 32 KB buffers at 56 Gbps ≈ 23 µs of waiting — the right
+        // order for the ~18–26 µs LSG latencies in Figs. 7–10.
+        let w = fcfs_waiting_time(5, 32 * 1024, LinkRate::from_gbps(56.0));
+        assert!((20.0..28.0).contains(&w.as_us_f64()), "{w}");
+    }
+
+    #[test]
+    fn small_payloads_are_rate_limited() {
+        let cfg = ClusterConfig::hardware();
+        let rate_64 = rate_limited_goodput_gbps(&cfg, 64);
+        let wire_64 = wire_limited_goodput_gbps(&cfg, 64);
+        assert!(
+            rate_64 < wire_64,
+            "64 B should be message-rate limited ({rate_64} vs {wire_64})"
+        );
+        // The paper's Fig. 5 observes ~4.1 Gbps at 64 B.
+        assert!((3.0..6.0).contains(&rate_64), "got {rate_64}");
+    }
+
+    #[test]
+    fn large_payloads_are_wire_limited() {
+        let cfg = ClusterConfig::hardware();
+        let pred = predicted_goodput_gbps(&cfg, 4096);
+        let wire = wire_limited_goodput_gbps(&cfg, 4096);
+        assert_eq!(pred, wire);
+        // The paper's Fig. 5 observes 52.2–53 Gbps at 4096 B.
+        assert!((51.0..55.0).contains(&pred), "got {pred}");
+    }
+
+    #[test]
+    fn goodput_is_monotone_in_payload() {
+        let cfg = ClusterConfig::hardware();
+        let mut last = 0.0;
+        for payload in [64u64, 128, 256, 512, 1024, 2048, 4096] {
+            let g = predicted_goodput_gbps(&cfg, payload);
+            assert!(g > last, "goodput should increase with payload size");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn zero_load_estimate_matches_paper_band() {
+        let cfg = ClusterConfig::hardware();
+        let no_switch_64 = rperf_zero_load_rtt_estimate(&cfg, 64, false);
+        let no_switch_4k = rperf_zero_load_rtt_estimate(&cfg, 4096, false);
+        let with_switch_64 = rperf_zero_load_rtt_estimate(&cfg, 64, true);
+        // Paper: ~20 ns and ~76 ns back-to-back; ~432 ns through the switch.
+        assert!(
+            (5.0..60.0).contains(&no_switch_64.as_ns_f64()),
+            "{no_switch_64}"
+        );
+        assert!(
+            (40.0..120.0).contains(&no_switch_4k.as_ns_f64()),
+            "{no_switch_4k}"
+        );
+        assert!(
+            (380.0..500.0).contains(&with_switch_64.as_ns_f64()),
+            "{with_switch_64}"
+        );
+        assert!(no_switch_4k > no_switch_64);
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared InfiniBand domain types for the rperf-rs suite.
+//!
+//! Everything the device models (RNIC, switch, fabric) and the measurement
+//! tools agree on lives here:
+//!
+//! * [`ids`] — strongly typed identifiers (nodes, ports, LIDs, QPs, service
+//!   levels, virtual lanes).
+//! * [`units`] — link rates and serialization-time arithmetic.
+//! * [`wire`] — IB packet and header size modelling (LRH/BTH/DETH/RETH/AETH
+//!   /ICRC/VCRC), the [`wire::Packet`] unit that flows through the fabric.
+//! * [`config`] — every calibrated timing constant in the suite, grouped
+//!   into [`config::ClusterConfig`] with the two device profiles the paper
+//!   uses: the `hardware` testbed profile and the `omnet` simulator profile.
+//! * [`analytic`] — closed-form models from the paper, most importantly
+//!   Eq. 2 (`W_t = N · BufferSize / LinkBandwidth`).
+//!
+//! # Examples
+//!
+//! ```
+//! use rperf_model::units::LinkRate;
+//!
+//! let fdr = LinkRate::from_gbps(56.0);
+//! // A 4096-byte payload plus 52 bytes of headers at 56 Gbps:
+//! let t = fdr.serialize_time(4148);
+//! assert!((t.as_ns_f64() - 592.57).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod config;
+pub mod ids;
+pub mod units;
+pub mod wire;
+
+pub use config::ClusterConfig;
+pub use ids::{FlowId, Lid, MsgId, NodeId, PortId, QpNum, ServiceLevel, VirtualLane};
+pub use units::LinkRate;
+pub use wire::{Packet, PacketKind, Transport, Verb};

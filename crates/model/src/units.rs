@@ -1,0 +1,169 @@
+//! Link rates and serialization arithmetic.
+
+use std::fmt;
+
+use rperf_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A link (or internal datapath) rate in bits per second.
+///
+/// All bandwidth arithmetic in the suite goes through this type so that the
+/// picosecond rounding is done once, in one place.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_model::units::LinkRate;
+///
+/// let r = LinkRate::from_gbps(56.0);
+/// assert_eq!(r.as_gbps(), 56.0);
+/// // One byte takes 8/56e9 s ≈ 142.9 ps:
+/// assert_eq!(r.serialize_time(1).as_ps(), 143);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkRate {
+    bits_per_sec: u64,
+}
+
+impl LinkRate {
+    /// Creates a rate from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is zero.
+    pub fn from_bps(bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "link rate must be positive");
+        LinkRate { bits_per_sec }
+    }
+
+    /// Creates a rate from gigabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not strictly positive.
+    pub fn from_gbps(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "link rate must be positive, got {gbps}");
+        LinkRate {
+            bits_per_sec: (gbps * 1e9).round() as u64,
+        }
+    }
+
+    /// The rate in bits per second.
+    pub fn as_bps(self) -> u64 {
+        self.bits_per_sec
+    }
+
+    /// The rate in gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.bits_per_sec as f64 / 1e9
+    }
+
+    /// Time to serialize `bytes` bytes at this rate (rounded to the nearest
+    /// picosecond).
+    pub fn serialize_time(self, bytes: u64) -> SimDuration {
+        // ps = bytes * 8 * 1e12 / bps, computed in u128 to avoid overflow.
+        let num = bytes as u128 * 8 * 1_000_000_000_000;
+        let ps = (num + self.bits_per_sec as u128 / 2) / self.bits_per_sec as u128;
+        SimDuration::from_ps(ps as u64)
+    }
+
+    /// Bytes that can be serialized in `d` at this rate (rounded down).
+    pub fn bytes_in(self, d: SimDuration) -> u64 {
+        let bits = d.as_ps() as u128 * self.bits_per_sec as u128 / 1_000_000_000_000;
+        (bits / 8) as u64
+    }
+
+    /// Scales the rate by a factor (e.g. to model an internal datapath that
+    /// runs slightly faster than the line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled(self, factor: f64) -> LinkRate {
+        assert!(factor > 0.0, "scale factor must be positive, got {factor}");
+        LinkRate::from_bps(((self.bits_per_sec as f64) * factor).round().max(1.0) as u64)
+    }
+}
+
+impl fmt::Debug for LinkRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Gbps", self.as_gbps())
+    }
+}
+
+impl fmt::Display for LinkRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Gbps", self.as_gbps())
+    }
+}
+
+/// Computes payload goodput in Gbps given payload bytes delivered over a
+/// duration.
+pub fn goodput_gbps(payload_bytes: u64, over: SimDuration) -> f64 {
+    if over == SimDuration::ZERO {
+        return 0.0;
+    }
+    payload_bytes as f64 * 8.0 / over.as_secs_f64() / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_times_match_hand_math() {
+        let r = LinkRate::from_gbps(56.0);
+        // 4148 bytes (4096 + 52 header) at 56 Gbps = 592.571... ns.
+        let t = r.serialize_time(4148);
+        assert!((t.as_ns_f64() - 592.571).abs() < 0.01, "{t}");
+        // 64B message + 26B headers = 90 B → 12.857 ns.
+        let t = r.serialize_time(90);
+        assert!((t.as_ns_f64() - 12.857).abs() < 0.01, "{t}");
+    }
+
+    #[test]
+    fn zero_bytes_is_zero_time() {
+        assert_eq!(
+            LinkRate::from_gbps(56.0).serialize_time(0),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn bytes_in_inverts_serialize_time() {
+        let r = LinkRate::from_gbps(56.0);
+        for bytes in [1u64, 64, 4096, 1_000_000] {
+            let t = r.serialize_time(bytes);
+            let back = r.bytes_in(t);
+            let err = (back as i64 - bytes as i64).abs();
+            assert!(err <= 1, "bytes {bytes} → {t} → {back}");
+        }
+    }
+
+    #[test]
+    fn scaled_rate() {
+        let r = LinkRate::from_gbps(56.0).scaled(1.1);
+        assert!((r.as_gbps() - 61.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn goodput_math() {
+        let g = goodput_gbps(7_000_000_000 / 8, SimDuration::from_secs_f64(1.0));
+        assert!((g - 7.0).abs() < 1e-9);
+        assert_eq!(goodput_gbps(100, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = LinkRate::from_gbps(0.0);
+    }
+
+    #[test]
+    fn large_values_do_not_overflow() {
+        let r = LinkRate::from_gbps(56.0);
+        // 1 TB serializes without overflow.
+        let t = r.serialize_time(1_000_000_000_000);
+        assert!((t.as_secs_f64() - 142.857).abs() < 0.01);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-VL injection queues with ACK priority.
+
+use std::collections::VecDeque;
+
+use rperf_model::{Packet, VirtualLane};
+
+/// The RNIC's wire-injection stage: a high-priority ACK queue plus one
+/// FIFO per virtual lane for data packets.
+///
+/// ACKs are tiny and latency-critical for the requester's completion path,
+/// so real RNICs inject them ahead of queued data; the model does the same.
+/// Data VLs are served round-robin among those with queued packets (a
+/// single node rarely drives more than one VL, but the pretend-LSG
+/// experiments make a node carry both SL0 and SL1 flows).
+///
+/// # Examples
+///
+/// ```
+/// use rperf_rnic::TxQueue;
+///
+/// let q = TxQueue::new(9);
+/// assert!(q.is_empty());
+/// assert_eq!(q.len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxQueue {
+    acks: VecDeque<Packet>,
+    data: Vec<VecDeque<Packet>>,
+    cursor: usize,
+}
+
+impl TxQueue {
+    /// Creates queues for `vls` virtual lanes.
+    pub fn new(vls: u8) -> Self {
+        TxQueue {
+            acks: VecDeque::new(),
+            data: (0..vls).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Queues an ACK/control packet (highest priority).
+    pub fn push_ack(&mut self, packet: Packet) {
+        self.acks.push_back(packet);
+    }
+
+    /// Queues a data packet on its virtual lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vl` is beyond the configured lane count.
+    pub fn push_data(&mut self, vl: VirtualLane, packet: Packet) {
+        self.data[vl.index()].push_back(packet);
+    }
+
+    /// Total queued packets.
+    pub fn len(&self) -> usize {
+        self.acks.len() + self.data.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Picks the next packet to inject: the oldest ACK if any, otherwise a
+    /// round-robin scan of data VLs.
+    ///
+    /// `vl_of` maps a packet to the VL it travels on (the caller's SL2VL
+    /// table; used for ACKs, whose lane follows their flow's service
+    /// level). `credit_ok(vl, wire_bytes)` consults the caller's credit
+    /// ledger. Returns the packet and its VL.
+    pub fn pop_next<V, F>(&mut self, vl_of: V, mut credit_ok: F) -> Option<(Packet, VirtualLane)>
+    where
+        V: Fn(&Packet) -> VirtualLane,
+        F: FnMut(VirtualLane, u64) -> bool,
+    {
+        if let Some(front) = self.acks.front() {
+            let vl = vl_of(front);
+            if credit_ok(vl, front.wire_size()) {
+                let p = self.acks.pop_front().expect("front exists");
+                return Some((p, vl));
+            }
+        }
+        let lanes = self.data.len();
+        for step in 0..lanes {
+            let i = (self.cursor + step) % lanes;
+            if let Some(front) = self.data[i].front() {
+                let vl = VirtualLane::new(i as u8);
+                if credit_ok(vl, front.wire_size()) {
+                    let p = self.data[i].pop_front().expect("front exists");
+                    self.cursor = (i + 1) % lanes;
+                    return Some((p, vl));
+                }
+            }
+        }
+        None
+    }
+
+    /// Queued data packets on one lane.
+    pub fn data_depth(&self, vl: VirtualLane) -> usize {
+        self.data[vl.index()].len()
+    }
+
+    /// Queued ACKs.
+    pub fn ack_depth(&self) -> usize {
+        self.acks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rperf_model::ids::PacketId;
+    use rperf_model::{FlowId, Lid, MsgId, PacketKind, QpNum, ServiceLevel, Transport, Verb};
+    use rperf_sim::SimTime;
+
+    fn pkt(id: u64, kind: PacketKind) -> Packet {
+        Packet {
+            id: PacketId::new(id),
+            flow: FlowId::new(0),
+            msg: MsgId::new(id),
+            src: Lid::new(1),
+            dst: Lid::new(2),
+            dst_qp: QpNum::new(0),
+            sl: ServiceLevel::new(0),
+            kind,
+            payload: 64,
+            overhead: 52,
+            injected_at: SimTime::ZERO,
+        }
+    }
+
+    fn data(id: u64) -> Packet {
+        pkt(
+            id,
+            PacketKind::Data {
+                verb: Verb::Send,
+                transport: Transport::Rc,
+                index: 0,
+                last: true,
+            },
+        )
+    }
+
+    fn vl0_of(_: &Packet) -> VirtualLane {
+        VirtualLane::new(0)
+    }
+
+    #[test]
+    fn acks_jump_the_data_queue() {
+        let mut q = TxQueue::new(2);
+        q.push_data(VirtualLane::new(0), data(1));
+        q.push_ack(pkt(2, PacketKind::Ack));
+        let (p, vl) = q.pop_next(vl0_of, |_, _| true).unwrap();
+        assert_eq!(p.id, PacketId::new(2));
+        assert_eq!(vl, VirtualLane::new(0));
+    }
+
+    #[test]
+    fn data_round_robin_across_vls() {
+        let mut q = TxQueue::new(2);
+        for i in 0..2 {
+            q.push_data(VirtualLane::new(0), data(i));
+            q.push_data(VirtualLane::new(1), data(10 + i));
+        }
+        let mut order = Vec::new();
+        while let Some((p, _)) = q.pop_next(vl0_of, |_, _| true) {
+            order.push(p.id.raw());
+        }
+        assert_eq!(order, vec![0, 10, 1, 11]);
+    }
+
+    #[test]
+    fn credits_can_veto_a_lane() {
+        let mut q = TxQueue::new(2);
+        q.push_data(VirtualLane::new(0), data(1));
+        q.push_data(VirtualLane::new(1), data(2));
+        // Only VL1 has credits.
+        let (p, vl) = q
+            .pop_next(vl0_of, |vl, _| vl == VirtualLane::new(1))
+            .unwrap();
+        assert_eq!(p.id, PacketId::new(2));
+        assert_eq!(vl, VirtualLane::new(1));
+        // VL0 still blocked: nothing to pop.
+        assert!(q
+            .pop_next(vl0_of, |vl, _| vl == VirtualLane::new(1))
+            .is_none());
+        assert_eq!(q.data_depth(VirtualLane::new(0)), 1);
+    }
+
+    #[test]
+    fn blocked_ack_blocks_nothing_else_on_other_lane() {
+        // An ACK on a credit-starved VL0 must not stop VL1 data.
+        let mut q = TxQueue::new(2);
+        q.push_ack(pkt(1, PacketKind::Ack));
+        q.push_data(VirtualLane::new(1), data(2));
+        let (p, _) = q
+            .pop_next(vl0_of, |vl, _| vl == VirtualLane::new(1))
+            .unwrap();
+        assert_eq!(p.id, PacketId::new(2));
+        assert_eq!(q.ack_depth(), 1);
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q = TxQueue::new(1);
+        assert!(q.pop_next(vl0_of, |_, _| true).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn depth_queries() {
+        let mut q = TxQueue::new(2);
+        q.push_ack(pkt(1, PacketKind::Ack));
+        q.push_data(VirtualLane::new(1), data(2));
+        assert_eq!(q.ack_depth(), 1);
+        assert_eq!(q.data_depth(VirtualLane::new(1)), 1);
+        assert_eq!(q.data_depth(VirtualLane::new(0)), 0);
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! A stable timestamped event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A priority queue of `(SimTime, E)` pairs that pops events in
+/// non-decreasing time order.
+///
+/// Events scheduled for the same instant pop in the order they were
+/// scheduled (FIFO tie-breaking via a monotonically increasing sequence
+/// number), which keeps multi-component simulations deterministic.
+///
+/// The queue also tracks the timestamp of the last popped event as the
+/// current simulation time ([`EventQueue::now`]); scheduling in the past is
+/// a logic error and panics in debug builds.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_sim::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_in(SimDuration::from_ns(10), "late");
+/// q.schedule_in(SimDuration::from_ns(1), "early");
+/// q.schedule_in(SimDuration::from_ns(1), "early-second");
+///
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-second");
+/// assert_eq!(q.now(), SimTime::from_ns(1));
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (and, within a
+        // timestamp, the lowest-sequence) entry is the maximum.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (`t = 0` initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `at` is earlier than [`EventQueue::now`]
+    /// (scheduling into the past indicates a device-model bug).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < now {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: crate::SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the current time (processed after all events
+    /// already queued for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule(self.now, event);
+    }
+
+    /// Removes and returns the earliest event, advancing [`EventQueue::now`].
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Discards all pending events without changing the current time.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (at, ev) in iter {
+            self.schedule(at, ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), 3);
+        q.schedule(SimTime::from_ns(10), 1);
+        q.schedule(SimTime::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_timestamp_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_ns(5), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(5), "a");
+        q.pop();
+        q.schedule_in(SimDuration::from_ns(3), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(8), "b")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn extend_and_counters() {
+        let mut q = EventQueue::new();
+        q.extend((0..5).map(|i| (SimTime::from_ns(i), i)));
+        assert_eq!(q.len(), 5);
+        while q.pop().is_some() {}
+        assert_eq!(q.popped(), 5);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(9), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_ns(1));
+    }
+}

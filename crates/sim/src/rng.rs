@@ -1,0 +1,221 @@
+//! A small deterministic PRNG for device models.
+
+use crate::SimDuration;
+
+/// A deterministic pseudo-random number generator (`xoshiro256**`).
+///
+/// The state is seeded through SplitMix64, so any `u64` seed — including 0 —
+/// produces a well-mixed stream. Every device model in the suite draws its
+/// randomness from a `SimRng` forked off a single experiment seed, which
+/// makes entire cluster simulations reproducible bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_sim::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let x = a.f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        SimRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Each `(parent seed, stream)` pair yields a distinct, reproducible
+    /// stream; device models use this to decorrelate their noise sources.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base = self.next_u64();
+        SimRng::new(base ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)` (Lemire's method, unbiased enough
+    /// for simulation noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Widening multiply keeps the modulo bias below 2^-64 per draw,
+        // negligible for simulation noise.
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// An exponentially distributed duration with the given mean.
+    ///
+    /// Used for open-loop (Poisson) arrival processes.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        let u = 1.0 - self.f64(); // in (0, 1]
+        SimDuration::from_ns_f64(-u.ln() * mean.as_ns_f64())
+    }
+
+    /// A uniformly distributed duration in `[lo, hi)`.
+    pub fn uniform_duration(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        if hi <= lo {
+            return lo;
+        }
+        SimDuration::from_ps(self.range(lo.as_ps(), hi.as_ps()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        let mut r = SimRng::new(0);
+        let first = r.next_u64();
+        assert_ne!(first, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::new(9);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let matches = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(4);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SimRng::new(5);
+        for _ in 0..10_000 {
+            let x = r.range(100, 110);
+            assert!((100..110).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exp_duration_mean_is_close() {
+        let mut r = SimRng::new(6);
+        let mean = SimDuration::from_ns(1_000);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| r.exp_duration(mean).as_ns_f64()).sum();
+        let observed = total / n as f64;
+        assert!(
+            (observed - 1_000.0).abs() < 30.0,
+            "observed mean {observed} ns too far from 1000 ns"
+        );
+    }
+
+    #[test]
+    fn uniform_duration_bounds() {
+        let mut r = SimRng::new(8);
+        let lo = SimDuration::from_ns(10);
+        let hi = SimDuration::from_ns(20);
+        for _ in 0..1_000 {
+            let d = r.uniform_duration(lo, hi);
+            assert!(d >= lo && d < hi);
+        }
+        assert_eq!(r.uniform_duration(hi, lo), hi);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(11);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -1,0 +1,172 @@
+//! The simulation driver loop.
+
+use crate::{EventQueue, SimTime};
+
+/// A simulated system: everything that reacts to events.
+///
+/// The driver ([`run`]) pops events in time order and hands each one to
+/// [`World::handle`], which may schedule further events on the queue.
+pub trait World {
+    /// The event type flowing through the system.
+    type Event;
+
+    /// Reacts to one event at time `now`, scheduling follow-ups on `q`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, q: &mut EventQueue<Self::Event>);
+}
+
+/// When the driver loop should stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Stop when the queue drains.
+    QueueEmpty,
+    /// Stop before processing any event later than this instant.
+    At(SimTime),
+    /// Stop after this many events (a runaway-simulation backstop).
+    EventBudget(u64),
+}
+
+/// Why the driver loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained.
+    QueueDrained,
+    /// The time horizon was reached; the horizon event is left unprocessed.
+    HorizonReached,
+    /// The event budget was exhausted.
+    BudgetExhausted,
+}
+
+/// Runs `world` until `stop` triggers.
+///
+/// Returns why the loop stopped. Events scheduled exactly at an `At(t)`
+/// horizon are *not* processed (the horizon is exclusive), so a run to
+/// `t` followed by a run to `t'` > `t` is identical to a single run to `t'`.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_sim::{run, EventQueue, RunOutcome, SimTime, StopCondition, World};
+///
+/// struct Counter(u64);
+/// impl World for Counter {
+///     type Event = ();
+///     fn handle(&mut self, now: SimTime, _: (), q: &mut EventQueue<()>) {
+///         self.0 += 1;
+///         if self.0 < 10 {
+///             q.schedule(now + rperf_sim::SimDuration::from_ns(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut world = Counter(0);
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::ZERO, ());
+/// let outcome = run(&mut world, &mut q, StopCondition::QueueEmpty);
+/// assert_eq!(outcome, RunOutcome::QueueDrained);
+/// assert_eq!(world.0, 10);
+/// ```
+pub fn run<W: World>(
+    world: &mut W,
+    q: &mut EventQueue<W::Event>,
+    stop: StopCondition,
+) -> RunOutcome {
+    let mut budget = match stop {
+        StopCondition::EventBudget(n) => Some(n),
+        _ => None,
+    };
+    let horizon = match stop {
+        StopCondition::At(t) => Some(t),
+        _ => None,
+    };
+
+    loop {
+        if let Some(h) = horizon {
+            match q.peek_time() {
+                Some(t) if t >= h => return RunOutcome::HorizonReached,
+                None => return RunOutcome::QueueDrained,
+                _ => {}
+            }
+        }
+        if let Some(b) = budget.as_mut() {
+            if *b == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            *b -= 1;
+        }
+        match q.pop() {
+            Some((now, ev)) => world.handle(now, ev, q),
+            None => return RunOutcome::QueueDrained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    struct Ticker {
+        ticks: Vec<SimTime>,
+        period: SimDuration,
+    }
+
+    impl World for Ticker {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+            self.ticks.push(now);
+            q.schedule(now + self.period, ev + 1);
+        }
+    }
+
+    fn ticker() -> (Ticker, EventQueue<u32>) {
+        let w = Ticker {
+            ticks: Vec::new(),
+            period: SimDuration::from_ns(10),
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0);
+        (w, q)
+    }
+
+    #[test]
+    fn horizon_is_exclusive_and_resumable() {
+        let (mut w, mut q) = ticker();
+        let out = run(&mut w, &mut q, StopCondition::At(SimTime::from_ns(35)));
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert_eq!(w.ticks.len(), 4); // t = 0, 10, 20, 30
+
+        // Resuming to a later horizon continues seamlessly.
+        let out = run(&mut w, &mut q, StopCondition::At(SimTime::from_ns(55)));
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert_eq!(w.ticks.len(), 6); // + t = 40, 50
+    }
+
+    #[test]
+    fn event_at_horizon_not_processed() {
+        let (mut w, mut q) = ticker();
+        run(&mut w, &mut q, StopCondition::At(SimTime::from_ns(30)));
+        assert_eq!(w.ticks.last(), Some(&SimTime::from_ns(20)));
+    }
+
+    #[test]
+    fn budget_stops_runaway() {
+        let (mut w, mut q) = ticker();
+        let out = run(&mut w, &mut q, StopCondition::EventBudget(100));
+        assert_eq!(out, RunOutcome::BudgetExhausted);
+        assert_eq!(w.ticks.len(), 100);
+    }
+
+    #[test]
+    fn empty_queue_drains_immediately() {
+        struct Noop;
+        impl World for Noop {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), _: &mut EventQueue<()>) {}
+        }
+        let mut q = EventQueue::<()>::new();
+        assert_eq!(
+            run(&mut Noop, &mut q, StopCondition::QueueEmpty),
+            RunOutcome::QueueDrained
+        );
+    }
+}

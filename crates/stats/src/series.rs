@@ -1,0 +1,211 @@
+//! Labelled data series and figure tables.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled series of `(x, y)` points — e.g. "99.9th (w/ switch)".
+///
+/// # Examples
+///
+/// ```
+/// use rperf_stats::Series;
+///
+/// let mut s = Series::new("50th");
+/// s.push(64.0, 0.43);
+/// s.push(128.0, 0.44);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.y_at(64.0), Some(0.43));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// X coordinates (payload size, number of BSGs, …).
+    pub x: Vec<f64>,
+    /// Y values (RTT in µs, bandwidth in Gbps, …).
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.x.push(x);
+        self.y.push(y);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The y value at the first point whose x equals `x` exactly.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.x
+            .iter()
+            .position(|&xi| xi == x)
+            .map(|i| self.y[i])
+    }
+}
+
+/// A reproduction of one paper figure: a set of series over a shared x-axis.
+///
+/// Renders as a Markdown table for EXPERIMENTS.md and serializes to JSON for
+/// downstream plotting.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_stats::{Figure, Series};
+///
+/// let mut fig = Figure::new("fig4", "RTT vs payload", "Payload (B)", "RTT (ns)");
+/// let mut s = Series::new("50th");
+/// s.push(64.0, 430.0);
+/// fig.add_series(s);
+/// let md = fig.to_markdown();
+/// assert!(md.contains("| Payload (B) | 50th |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Short identifier ("fig4").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add_series(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// The union of all x values across series, sorted ascending.
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.x.iter().copied()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN x values"));
+        xs.dedup();
+        xs
+    }
+
+    /// Renders the figure as a Markdown table, one row per x value and one
+    /// column per series (missing points render as `-`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = writeln!(out);
+        let mut header = format!("| {} |", self.x_label);
+        let mut rule = String::from("|---|");
+        for s in &self.series {
+            let _ = write!(header, " {} |", s.label);
+            rule.push_str("---|");
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{rule}");
+        for x in self.x_values() {
+            let mut row = if x == x.trunc() && x.abs() < 1e15 {
+                format!("| {} |", x as i64)
+            } else {
+                format!("| {x:.3} |")
+            };
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(row, " {y:.3} |");
+                    }
+                    None => row.push_str(" - |"),
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "Units: x = {}, y = {}.", self.x_label, self.y_label);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        let mut fig = Figure::new("figX", "Test", "Payload (B)", "RTT (us)");
+        let mut a = Series::new("50th");
+        a.push(64.0, 1.0);
+        a.push(128.0, 2.0);
+        let mut b = Series::new("99.9th");
+        b.push(64.0, 3.0);
+        fig.add_series(a);
+        fig.add_series(b);
+        fig
+    }
+
+    #[test]
+    fn x_values_are_sorted_union() {
+        let fig = sample_figure();
+        assert_eq!(fig.x_values(), vec![64.0, 128.0]);
+    }
+
+    #[test]
+    fn markdown_has_all_rows_and_missing_cells() {
+        let md = sample_figure().to_markdown();
+        assert!(md.contains("| 64 | 1.000 | 3.000 |"));
+        assert!(md.contains("| 128 | 2.000 | - |"));
+    }
+
+    #[test]
+    fn y_at_exact_match_only() {
+        let fig = sample_figure();
+        assert_eq!(fig.series[0].y_at(64.0), Some(1.0));
+        assert_eq!(fig.series[0].y_at(65.0), None);
+    }
+
+    #[test]
+    fn figure_implements_serialize() {
+        fn assert_serialize<T: serde::Serialize>() {}
+        assert_serialize::<Figure>();
+        assert_serialize::<Series>();
+    }
+
+    #[test]
+    fn empty_series_flags() {
+        let s = Series::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

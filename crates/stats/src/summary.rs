@@ -1,0 +1,149 @@
+//! Percentile digests.
+
+use std::fmt;
+
+use crate::LatencyHistogram;
+
+/// The latency digest every experiment in the suite reports.
+///
+/// Values are in **picoseconds** (the native unit of recorded samples); the
+/// accessor methods convert to microseconds for human consumption, matching
+/// the units the paper plots.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_stats::{LatencyHistogram, LatencySummary};
+///
+/// let mut h = LatencyHistogram::new();
+/// for i in 1..=100u64 {
+///     h.record(i * 1_000_000); // 1..=100 µs
+/// }
+/// let s = LatencySummary::from_histogram(&h);
+/// assert_eq!(s.count, 100);
+/// assert!((s.p50_us() - 50.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Minimum, in picoseconds.
+    pub min_ps: u64,
+    /// Arithmetic mean, in picoseconds.
+    pub mean_ps: f64,
+    /// Median (50th percentile), in picoseconds.
+    pub p50_ps: u64,
+    /// 90th percentile, in picoseconds.
+    pub p90_ps: u64,
+    /// 99th percentile, in picoseconds.
+    pub p99_ps: u64,
+    /// 99.9th percentile — the paper's tail metric — in picoseconds.
+    pub p999_ps: u64,
+    /// Maximum, in picoseconds.
+    pub max_ps: u64,
+}
+
+impl LatencySummary {
+    /// Extracts the digest from a histogram.
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            min_ps: h.min(),
+            mean_ps: h.mean(),
+            p50_ps: h.percentile(50.0),
+            p90_ps: h.percentile(90.0),
+            p99_ps: h.percentile(99.0),
+            p999_ps: h.percentile(99.9),
+            max_ps: h.max(),
+        }
+    }
+
+    /// Median in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.p50_ps as f64 / 1e6
+    }
+
+    /// 99.9th percentile in microseconds.
+    pub fn p999_us(&self) -> f64 {
+        self.p999_ps as f64 / 1e6
+    }
+
+    /// Median in nanoseconds.
+    pub fn p50_ns(&self) -> f64 {
+        self.p50_ps as f64 / 1e3
+    }
+
+    /// 99.9th percentile in nanoseconds.
+    pub fn p999_ns(&self) -> f64 {
+        self.p999_ps as f64 / 1e3
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ps / 1e6
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={:.3}us p90={:.3}us p99={:.3}us p99.9={:.3}us mean={:.3}us max={:.3}us",
+            self.count,
+            self.p50_ps as f64 / 1e6,
+            self.p90_ps as f64 / 1e6,
+            self.p99_ps as f64 / 1e6,
+            self.p999_ps as f64 / 1e6,
+            self.mean_ps / 1e6,
+            self.max_ps as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_ordered() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 99u64;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            h.record((x >> 40) + 1);
+        }
+        let s = LatencySummary::from_histogram(&h);
+        assert!(s.min_ps <= s.p50_ps);
+        assert!(s.p50_ps <= s.p90_ps);
+        assert!(s.p90_ps <= s.p99_ps);
+        assert!(s.p99_ps <= s.p999_ps);
+        assert!(s.p999_ps <= s.max_ps);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let s = LatencySummary {
+            count: 1,
+            min_ps: 2_000_000,
+            mean_ps: 2_000_000.0,
+            p50_ps: 2_000_000,
+            p90_ps: 2_000_000,
+            p99_ps: 2_000_000,
+            p999_ps: 3_000_000,
+            max_ps: 3_000_000,
+        };
+        assert_eq!(s.p50_us(), 2.0);
+        assert_eq!(s.p999_us(), 3.0);
+        assert_eq!(s.p50_ns(), 2_000.0);
+        assert_eq!(s.mean_us(), 2.0);
+    }
+
+    #[test]
+    fn display_contains_percentiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        let text = LatencySummary::from_histogram(&h).to_string();
+        assert!(text.contains("p50="));
+        assert!(text.contains("p99.9="));
+    }
+}

@@ -1,0 +1,37 @@
+//! Subnet management: the OpenSM role for the simulated fabric.
+//!
+//! A real IB subnet has a software subnet manager that discovers the
+//! topology, assigns a LID to every end port and programs every switch's
+//! linear forwarding table. This crate performs the same job for
+//! arbitrary multi-switch topologies:
+//!
+//! * [`TopologySpec`] — declarative description: switches, host
+//!   attachments, inter-switch trunks (with convenience constructors for
+//!   the paper's setups and for switch chains).
+//! * [`plan`] — validates the spec against the switch port budget,
+//!   assigns LIDs and ports, and computes shortest-path forwarding
+//!   entries (BFS over the switch graph, deterministic tie-breaking).
+//! * [`SubnetPlan`] — the programmable result the fabric builder consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use rperf_subnet::{plan, TopologySpec};
+//!
+//! // Three switches in a chain, two hosts on each end.
+//! let spec = TopologySpec::chain(3, &[2, 0, 2]);
+//! let plan = plan(&spec, 12)?;
+//! assert_eq!(plan.lids.len(), 4);
+//! # Ok::<(), rperf_subnet::SubnetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod planner;
+mod spec;
+
+pub use error::SubnetError;
+pub use planner::{plan, SubnetPlan};
+pub use spec::TopologySpec;

@@ -1,0 +1,260 @@
+//! LID assignment, port allocation and forwarding-table computation.
+
+use std::collections::VecDeque;
+
+use rperf_model::{Lid, PortId};
+
+use crate::error::SubnetError;
+use crate::spec::TopologySpec;
+
+/// The programmable outcome of subnet planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubnetPlan {
+    /// LID of each host (host `i` gets `lids[i]`; LIDs start at 1, LID 0
+    /// being reserved in IB).
+    pub lids: Vec<Lid>,
+    /// Attachment of each host: `(switch, port)`.
+    pub host_ports: Vec<(usize, PortId)>,
+    /// Trunk cables: `((switch_a, port_a), (switch_b, port_b))`, in the
+    /// order of [`TopologySpec::trunks`].
+    pub trunk_ports: Vec<((usize, PortId), (usize, PortId))>,
+    /// Forwarding entries per switch: for every host LID, the egress port.
+    pub routes: Vec<Vec<(Lid, PortId)>>,
+    /// Hop count (number of switches traversed) between every host pair,
+    /// indexed `[src][dst]`.
+    pub hops: Vec<Vec<u32>>,
+}
+
+impl SubnetPlan {
+    /// The egress port switch `sw` uses for `lid` (for diagnostics).
+    pub fn route_of(&self, sw: usize, lid: Lid) -> Option<PortId> {
+        self.routes[sw]
+            .iter()
+            .find(|&&(l, _)| l == lid)
+            .map(|&(_, p)| p)
+    }
+}
+
+/// Validates `spec` against `ports_per_switch` and computes the plan:
+/// hosts take the low port numbers on their switch (in host order),
+/// trunks take the next ports (in trunk order); forwarding uses BFS
+/// shortest paths over the switch graph with deterministic tie-breaking
+/// (lower-numbered neighbour wins).
+///
+/// # Errors
+///
+/// See [`SubnetError`] — port budget, dangling references, self-trunks,
+/// disconnected fabrics and empty topologies are rejected.
+pub fn plan(spec: &TopologySpec, ports_per_switch: u8) -> Result<SubnetPlan, SubnetError> {
+    let n_sw = spec.switches();
+    if spec.hosts() == 0 {
+        return Err(SubnetError::NoHosts);
+    }
+    for &a in spec.host_attachments() {
+        if a >= n_sw {
+            return Err(SubnetError::UnknownSwitch { switch: a });
+        }
+    }
+    for &(a, b) in spec.trunks() {
+        if a == b {
+            return Err(SubnetError::SelfTrunk { switch: a });
+        }
+        if a >= n_sw || b >= n_sw {
+            return Err(SubnetError::UnknownSwitch { switch: a.max(b) });
+        }
+    }
+    for sw in 0..n_sw {
+        let needed = spec.ports_needed(sw);
+        if needed > ports_per_switch as usize {
+            return Err(SubnetError::PortBudgetExceeded {
+                switch: sw,
+                needed,
+                available: ports_per_switch as usize,
+            });
+        }
+    }
+
+    // Port allocation: hosts first (host order), then trunks (trunk order).
+    let mut next_port = vec![0u8; n_sw];
+    let mut host_ports = Vec::with_capacity(spec.hosts());
+    let mut lids = Vec::with_capacity(spec.hosts());
+    for (i, &sw) in spec.host_attachments().iter().enumerate() {
+        let port = PortId::new(next_port[sw]);
+        next_port[sw] += 1;
+        host_ports.push((sw, port));
+        lids.push(Lid::new(i as u16 + 1));
+    }
+    let mut trunk_ports = Vec::with_capacity(spec.trunks().len());
+    // Adjacency: neighbour switch → the local port reaching it.
+    let mut adjacency: Vec<Vec<(usize, PortId)>> = vec![Vec::new(); n_sw];
+    for &(a, b) in spec.trunks() {
+        let pa = PortId::new(next_port[a]);
+        next_port[a] += 1;
+        let pb = PortId::new(next_port[b]);
+        next_port[b] += 1;
+        trunk_ports.push(((a, pa), (b, pb)));
+        adjacency[a].push((b, pa));
+        adjacency[b].push((a, pb));
+    }
+
+    // Connectivity + next-hop computation via BFS from every switch.
+    // next_hop[from][to] = local port on `from` toward `to`.
+    let mut next_hop: Vec<Vec<Option<PortId>>> = vec![vec![None; n_sw]; n_sw];
+    let mut dist: Vec<Vec<u32>> = vec![vec![u32::MAX; n_sw]; n_sw];
+    for start in 0..n_sw {
+        let mut queue = VecDeque::new();
+        dist[start][start] = 0;
+        queue.push_back(start);
+        while let Some(sw) = queue.pop_front() {
+            let mut neighbours = adjacency[sw].clone();
+            neighbours.sort_by_key(|&(n, _)| n); // deterministic tie-break
+            for (n, _port) in neighbours {
+                if dist[start][n] == u32::MAX {
+                    dist[start][n] = dist[start][sw] + 1;
+                    // The first hop from `start` toward `n` goes through
+                    // the same port as toward `sw`, unless sw == start.
+                    next_hop[start][n] = if sw == start {
+                        adjacency[start]
+                            .iter()
+                            .find(|&&(nb, _)| nb == n)
+                            .map(|&(_, p)| p)
+                    } else {
+                        next_hop[start][sw]
+                    };
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+    if n_sw > 1 {
+        if let Some(sw) = (1..n_sw).find(|&sw| dist[0][sw] == u32::MAX) {
+            return Err(SubnetError::Disconnected { switch: sw });
+        }
+    }
+
+    // Forwarding tables: local hosts → their port; remote hosts → the
+    // next hop toward their switch.
+    let mut routes: Vec<Vec<(Lid, PortId)>> = vec![Vec::new(); n_sw];
+    for (host, &(attached, port)) in host_ports.iter().enumerate() {
+        let lid = lids[host];
+        for (sw, table) in routes.iter_mut().enumerate() {
+            if sw == attached {
+                table.push((lid, port));
+            } else {
+                let hop = next_hop[sw][attached]
+                    .expect("connectivity verified: a next hop must exist");
+                table.push((lid, hop));
+            }
+        }
+    }
+
+    // Host-pair hop counts: switches on the path (1 for same switch).
+    let hosts = spec.hosts();
+    let mut hops = vec![vec![0u32; hosts]; hosts];
+    for (a, &(sw_a, _)) in host_ports.iter().enumerate() {
+        for (b, &(sw_b, _)) in host_ports.iter().enumerate() {
+            hops[a][b] = if a == b { 0 } else { dist[sw_a][sw_b] + 1 };
+        }
+    }
+
+    Ok(SubnetPlan {
+        lids,
+        host_ports,
+        trunk_ports,
+        routes,
+        hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_plan_matches_the_rack() {
+        let plan = plan(&TopologySpec::single_switch(7), 12).unwrap();
+        assert_eq!(plan.lids.len(), 7);
+        for (i, &(sw, port)) in plan.host_ports.iter().enumerate() {
+            assert_eq!(sw, 0);
+            assert_eq!(port, PortId::new(i as u8));
+        }
+        assert!(plan.trunk_ports.is_empty());
+        // Every LID routes to its own port.
+        for (i, &lid) in plan.lids.iter().enumerate() {
+            assert_eq!(plan.route_of(0, lid), Some(PortId::new(i as u8)));
+        }
+        assert_eq!(plan.hops[0][1], 1);
+        assert_eq!(plan.hops[0][0], 0);
+    }
+
+    #[test]
+    fn two_switch_plan_routes_over_the_trunk() {
+        let plan = plan(&TopologySpec::chain(2, &[3, 4]), 12).unwrap();
+        // Trunk ports come after host ports: 3 hosts on switch 0 → trunk
+        // port 3; 4 hosts on switch 1 → trunk port 4.
+        assert_eq!(plan.trunk_ports[0], ((0, PortId::new(3)), (1, PortId::new(4))));
+        // Host 0 (switch 0): switch 1 routes its LID over the trunk.
+        let lid0 = plan.lids[0];
+        assert_eq!(plan.route_of(1, lid0), Some(PortId::new(4)));
+        // Host 3 (switch 1): switch 0 routes over its trunk port.
+        let lid3 = plan.lids[3];
+        assert_eq!(plan.route_of(0, lid3), Some(PortId::new(3)));
+        assert_eq!(plan.hops[0][3], 2);
+        assert_eq!(plan.hops[0][1], 1);
+    }
+
+    #[test]
+    fn chain_routes_multi_hop() {
+        let plan = plan(&TopologySpec::chain(4, &[1, 0, 0, 1]), 12).unwrap();
+        let last = plan.lids[1];
+        // Switch 0 must send the far host's traffic toward switch 1.
+        let toward = plan.route_of(0, last).unwrap();
+        // Switch 0 has 1 host (port 0) and 1 trunk (port 1).
+        assert_eq!(toward, PortId::new(1));
+        assert_eq!(plan.hops[0][1], 4);
+    }
+
+    #[test]
+    fn star_routes_through_the_core() {
+        let plan = plan(&TopologySpec::star(3, 2), 12).unwrap();
+        // Host 0 on leaf 1, host 2 on leaf 2: 3 switches on the path.
+        assert_eq!(plan.hops[0][2], 3);
+        assert_eq!(plan.hops[0][1], 1, "same leaf");
+    }
+
+    #[test]
+    fn port_budget_enforced() {
+        let err = plan(&TopologySpec::single_switch(13), 12).unwrap_err();
+        assert!(matches!(err, SubnetError::PortBudgetExceeded { needed: 13, .. }));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let spec = TopologySpec::custom(3, vec![0, 2], vec![(0, 1)]);
+        let err = plan(&spec, 12).unwrap_err();
+        assert_eq!(err, SubnetError::Disconnected { switch: 2 });
+    }
+
+    #[test]
+    fn self_trunk_rejected() {
+        let spec = TopologySpec::custom(2, vec![0, 1], vec![(1, 1)]);
+        assert_eq!(plan(&spec, 12).unwrap_err(), SubnetError::SelfTrunk { switch: 1 });
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        assert_eq!(
+            plan(&TopologySpec::single_switch(0), 12).unwrap_err(),
+            SubnetError::NoHosts
+        );
+    }
+
+    #[test]
+    fn unknown_switch_rejected() {
+        let spec = TopologySpec::custom(2, vec![0, 5], vec![(0, 1)]);
+        assert_eq!(
+            plan(&spec, 12).unwrap_err(),
+            SubnetError::UnknownSwitch { switch: 5 }
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Topology specifications.
+
+/// A declarative multi-switch topology: which switch each host attaches
+/// to, and which switch pairs are trunked.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_subnet::TopologySpec;
+///
+/// // The paper's Fig. 11 setup: 3 hosts upstream, 4 downstream.
+/// let spec = TopologySpec::chain(2, &[3, 4]);
+/// assert_eq!(spec.switches(), 2);
+/// assert_eq!(spec.hosts(), 7);
+/// assert_eq!(spec.trunks(), &[(0, 1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySpec {
+    switches: usize,
+    /// For each host, the switch it attaches to.
+    host_attachments: Vec<usize>,
+    /// Inter-switch cables (unordered pairs, stored low-high).
+    trunks: Vec<(usize, usize)>,
+}
+
+impl TopologySpec {
+    /// A single switch with `hosts` hosts — the paper's rack.
+    pub fn single_switch(hosts: usize) -> Self {
+        TopologySpec {
+            switches: 1,
+            host_attachments: vec![0; hosts],
+            trunks: Vec::new(),
+        }
+    }
+
+    /// A linear chain of `switches` switches, trunked neighbour to
+    /// neighbour, with `hosts_per_switch[i]` hosts on switch `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts_per_switch.len() != switches` or `switches == 0`.
+    pub fn chain(switches: usize, hosts_per_switch: &[usize]) -> Self {
+        assert!(switches > 0, "a topology needs at least one switch");
+        assert_eq!(
+            hosts_per_switch.len(),
+            switches,
+            "one host count per switch"
+        );
+        let mut host_attachments = Vec::new();
+        for (sw, &n) in hosts_per_switch.iter().enumerate() {
+            host_attachments.extend(std::iter::repeat_n(sw, n));
+        }
+        TopologySpec {
+            switches,
+            host_attachments,
+            trunks: (1..switches).map(|i| (i - 1, i)).collect(),
+        }
+    }
+
+    /// A star: one core switch (index 0) trunked to `leaves` leaf
+    /// switches, each leaf carrying `hosts_per_leaf` hosts.
+    pub fn star(leaves: usize, hosts_per_leaf: usize) -> Self {
+        let mut host_attachments = Vec::new();
+        for leaf in 1..=leaves {
+            host_attachments.extend(std::iter::repeat_n(leaf, hosts_per_leaf));
+        }
+        TopologySpec {
+            switches: leaves + 1,
+            host_attachments,
+            trunks: (1..=leaves).map(|l| (0, l)).collect(),
+        }
+    }
+
+    /// An explicit topology.
+    pub fn custom(switches: usize, host_attachments: Vec<usize>, trunks: Vec<(usize, usize)>) -> Self {
+        let trunks = trunks
+            .into_iter()
+            .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+            .collect();
+        TopologySpec {
+            switches,
+            host_attachments,
+            trunks,
+        }
+    }
+
+    /// Number of switches.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.host_attachments.len()
+    }
+
+    /// The switch each host attaches to.
+    pub fn host_attachments(&self) -> &[usize] {
+        &self.host_attachments
+    }
+
+    /// The inter-switch cables.
+    pub fn trunks(&self) -> &[(usize, usize)] {
+        &self.trunks
+    }
+
+    /// Ports needed on switch `sw`: its hosts plus its trunks.
+    pub fn ports_needed(&self, sw: usize) -> usize {
+        let hosts = self.host_attachments.iter().filter(|&&a| a == sw).count();
+        let trunks = self
+            .trunks
+            .iter()
+            .filter(|&&(a, b)| a == sw || b == sw)
+            .count();
+        hosts + trunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_builds_neighbour_trunks() {
+        let spec = TopologySpec::chain(4, &[1, 0, 0, 1]);
+        assert_eq!(spec.trunks(), &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(spec.hosts(), 2);
+        assert_eq!(spec.host_attachments(), &[0, 3]);
+    }
+
+    #[test]
+    fn star_attaches_hosts_to_leaves() {
+        let spec = TopologySpec::star(3, 2);
+        assert_eq!(spec.switches(), 4);
+        assert_eq!(spec.hosts(), 6);
+        assert_eq!(spec.trunks(), &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(spec.ports_needed(0), 3);
+        assert_eq!(spec.ports_needed(1), 3);
+    }
+
+    #[test]
+    fn ports_needed_counts_hosts_and_trunks() {
+        let spec = TopologySpec::chain(2, &[3, 4]);
+        assert_eq!(spec.ports_needed(0), 4);
+        assert_eq!(spec.ports_needed(1), 5);
+    }
+
+    #[test]
+    fn custom_normalizes_trunk_order() {
+        let spec = TopologySpec::custom(3, vec![0, 2], vec![(2, 0), (1, 2)]);
+        assert_eq!(spec.trunks(), &[(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one host count per switch")]
+    fn chain_validates_lengths() {
+        let _ = TopologySpec::chain(2, &[1]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-(ingress port, VL) input buffers.
+
+use std::collections::VecDeque;
+
+use rperf_model::Packet;
+use rperf_sim::SimTime;
+
+/// One buffered packet with its switch-local metadata.
+#[derive(Debug, Clone)]
+pub struct BufEntry {
+    /// The packet.
+    pub packet: Packet,
+    /// When the packet arrived at *this* switch — the FCFS key.
+    pub arrival: SimTime,
+    /// When the packet clears the ingress pipeline and may be arbitrated.
+    pub eligible_at: SimTime,
+}
+
+/// A credit-advertised FIFO for one (ingress port, virtual lane) pair.
+///
+/// Capacity is in wire bytes; occupancy never exceeds the advertisement
+/// because the upstream sender spends a credit before transmitting. An
+/// over-admission is counted (it indicates a flow-control bug upstream)
+/// but still accepted, because IB links are lossless and dropping would
+/// corrupt the protocol state machines above.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_switch::VlBuffer;
+///
+/// let buf = VlBuffer::new(32 * 1024);
+/// assert_eq!(buf.capacity(), 32 * 1024);
+/// assert_eq!(buf.free(), 32 * 1024);
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VlBuffer {
+    queue: VecDeque<BufEntry>,
+    capacity: u64,
+    occupied: u64,
+    max_occupied: u64,
+    violations: u64,
+}
+
+impl VlBuffer {
+    /// Creates an empty buffer advertising `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        VlBuffer {
+            queue: VecDeque::new(),
+            capacity,
+            occupied: 0,
+            max_occupied: 0,
+            violations: 0,
+        }
+    }
+
+    /// Advertised capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently buffered.
+    pub fn occupied(&self) -> u64 {
+        self.occupied
+    }
+
+    /// Bytes of remaining space.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.occupied)
+    }
+
+    /// Packets currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if no packets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// High-water mark of occupancy.
+    pub fn max_occupied(&self) -> u64 {
+        self.max_occupied
+    }
+
+    /// Number of admissions that exceeded the advertised capacity.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Admits a packet (upstream spent a credit for it).
+    pub fn push(&mut self, entry: BufEntry) {
+        let size = entry.packet.wire_size();
+        if self.occupied + size > self.capacity {
+            self.violations += 1;
+        }
+        self.occupied += size;
+        self.max_occupied = self.max_occupied.max(self.occupied);
+        self.queue.push_back(entry);
+    }
+
+    /// The head packet, if any.
+    pub fn head(&self) -> Option<&BufEntry> {
+        self.queue.front()
+    }
+
+    /// Removes and returns the head packet, freeing its bytes.
+    pub fn pop(&mut self) -> Option<BufEntry> {
+        let entry = self.queue.pop_front()?;
+        self.occupied -= entry.packet.wire_size();
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rperf_model::ids::PacketId;
+    use rperf_model::{FlowId, Lid, MsgId, PacketKind, QpNum, ServiceLevel, Transport, Verb};
+
+    fn entry(bytes: u64, t_ns: u64) -> BufEntry {
+        BufEntry {
+            packet: Packet {
+                id: PacketId::new(0),
+                flow: FlowId::new(0),
+                msg: MsgId::new(0),
+                src: Lid::new(1),
+                dst: Lid::new(2),
+                dst_qp: QpNum::new(0),
+                sl: ServiceLevel::new(0),
+                kind: PacketKind::Data {
+                    verb: Verb::Send,
+                    transport: Transport::Rc,
+                    index: 0,
+                    last: true,
+                },
+                payload: bytes - 52,
+                overhead: 52,
+                injected_at: SimTime::ZERO,
+            },
+            arrival: SimTime::from_ns(t_ns),
+            eligible_at: SimTime::from_ns(t_ns + 200),
+        }
+    }
+
+    #[test]
+    fn occupancy_tracks_push_pop() {
+        let mut b = VlBuffer::new(10_000);
+        b.push(entry(4148, 0));
+        b.push(entry(4148, 1));
+        assert_eq!(b.occupied(), 8296);
+        assert_eq!(b.free(), 1704);
+        assert_eq!(b.len(), 2);
+        b.pop();
+        assert_eq!(b.occupied(), 4148);
+        assert_eq!(b.max_occupied(), 8296);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut b = VlBuffer::new(100_000);
+        for i in 0..5 {
+            b.push(entry(100, i));
+        }
+        for i in 0..5 {
+            assert_eq!(b.pop().unwrap().arrival, SimTime::from_ns(i));
+        }
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn violation_counted_but_admitted() {
+        let mut b = VlBuffer::new(4_000);
+        b.push(entry(4148, 0));
+        assert_eq!(b.violations(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn exact_fit_is_not_a_violation() {
+        let mut b = VlBuffer::new(4148);
+        b.push(entry(4148, 0));
+        assert_eq!(b.violations(), 0);
+        assert_eq!(b.free(), 0);
+    }
+
+    #[test]
+    fn head_peeks_without_removal() {
+        let mut b = VlBuffer::new(100_000);
+        b.push(entry(100, 7));
+        assert_eq!(b.head().unwrap().arrival, SimTime::from_ns(7));
+        assert_eq!(b.len(), 1);
+    }
+}

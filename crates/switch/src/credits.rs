@@ -1,0 +1,145 @@
+//! Downstream credit accounting.
+
+use rperf_model::VirtualLane;
+
+/// Tracks the flow-control credits a device holds toward *one* downstream
+/// peer, per virtual lane.
+///
+/// Credits are in bytes of the peer's advertised input buffer. A sender
+/// must [`CreditLedger::consume`] before transmitting a packet on a VL and
+/// receives the bytes back ([`CreditLedger::replenish`]) when the peer
+/// frees them. Conservation is a protocol invariant:
+/// `initial = available + in flight downstream`.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_model::VirtualLane;
+/// use rperf_switch::CreditLedger;
+///
+/// let mut c = CreditLedger::new(9, 32 * 1024);
+/// let vl0 = VirtualLane::new(0);
+/// assert!(c.consume(vl0, 4148));
+/// assert_eq!(c.available(vl0), 32 * 1024 - 4148);
+/// c.replenish(vl0, 4148);
+/// assert_eq!(c.available(vl0), 32 * 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CreditLedger {
+    initial: Vec<u64>,
+    available: Vec<u64>,
+}
+
+impl CreditLedger {
+    /// Creates a ledger for `vls` lanes, each granted `bytes_per_vl`.
+    pub fn new(vls: u8, bytes_per_vl: u64) -> Self {
+        CreditLedger {
+            initial: vec![bytes_per_vl; vls as usize],
+            available: vec![bytes_per_vl; vls as usize],
+        }
+    }
+
+    /// Creates a ledger with unlimited credits (for modelling a link with
+    /// no flow control, e.g. delivery into an infinite sink).
+    pub fn unlimited(vls: u8) -> Self {
+        Self::new(vls, u64::MAX / 2)
+    }
+
+    /// Number of lanes tracked.
+    pub fn vls(&self) -> u8 {
+        self.available.len() as u8
+    }
+
+    /// Credits currently available on `vl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vl` is beyond the configured lane count.
+    pub fn available(&self, vl: VirtualLane) -> u64 {
+        self.available[vl.index()]
+    }
+
+    /// `true` if a packet of `bytes` may be sent on `vl`.
+    pub fn can_send(&self, vl: VirtualLane, bytes: u64) -> bool {
+        self.available[vl.index()] >= bytes
+    }
+
+    /// Spends credits for a transmission. Returns `false` (and spends
+    /// nothing) if insufficient.
+    pub fn consume(&mut self, vl: VirtualLane, bytes: u64) -> bool {
+        let a = &mut self.available[vl.index()];
+        if *a < bytes {
+            return false;
+        }
+        *a -= bytes;
+        true
+    }
+
+    /// Returns freed credits from the peer, saturating at the initial
+    /// grant (over-replenishment indicates a protocol bug and is clamped).
+    pub fn replenish(&mut self, vl: VirtualLane, bytes: u64) {
+        let i = vl.index();
+        self.available[i] = (self.available[i] + bytes).min(self.initial[i]);
+    }
+
+    /// Bytes currently in flight (consumed but not yet replenished) on `vl`.
+    pub fn in_flight(&self, vl: VirtualLane) -> u64 {
+        self.initial[vl.index()] - self.available[vl.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_and_replenish_conserve() {
+        let mut c = CreditLedger::new(2, 10_000);
+        let vl = VirtualLane::new(0);
+        assert!(c.consume(vl, 4_000));
+        assert!(c.consume(vl, 4_000));
+        assert_eq!(c.available(vl), 2_000);
+        assert_eq!(c.in_flight(vl), 8_000);
+        c.replenish(vl, 4_000);
+        assert_eq!(c.available(vl), 6_000);
+        assert_eq!(c.in_flight(vl), 4_000);
+    }
+
+    #[test]
+    fn insufficient_credits_refused() {
+        let mut c = CreditLedger::new(1, 1_000);
+        let vl = VirtualLane::new(0);
+        assert!(!c.consume(vl, 2_000));
+        assert_eq!(c.available(vl), 1_000, "refused consume must not spend");
+        assert!(!c.can_send(vl, 1_001));
+        assert!(c.can_send(vl, 1_000));
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut c = CreditLedger::new(2, 1_000);
+        let vl0 = VirtualLane::new(0);
+        let vl1 = VirtualLane::new(1);
+        assert!(c.consume(vl0, 1_000));
+        assert_eq!(c.available(vl0), 0);
+        assert_eq!(c.available(vl1), 1_000);
+    }
+
+    #[test]
+    fn over_replenish_clamped() {
+        let mut c = CreditLedger::new(1, 1_000);
+        let vl = VirtualLane::new(0);
+        c.replenish(vl, 5_000);
+        assert_eq!(c.available(vl), 1_000);
+    }
+
+    #[test]
+    fn unlimited_is_effectively_infinite() {
+        let mut c = CreditLedger::unlimited(1);
+        let vl = VirtualLane::new(0);
+        for _ in 0..1_000 {
+            assert!(c.consume(vl, u32::MAX as u64));
+        }
+    }
+
+}

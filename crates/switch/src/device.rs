@@ -1,0 +1,600 @@
+//! The switch device: ports, buffers, arbiters and credit plumbing.
+
+use rperf_model::config::SwitchConfig;
+use rperf_model::{Lid, LinkRate, Packet, PortId, VirtualLane};
+use rperf_sim::{SimDuration, SimRng, SimTime};
+
+use crate::arbiter::PacketScheduler;
+use crate::buffer::{BufEntry, VlBuffer};
+use crate::credits::CreditLedger;
+use crate::tables::ForwardingTable;
+use crate::vlarb::VlArbiter;
+
+/// An externally visible effect produced by the switch state machine.
+///
+/// The fabric layer turns these into scheduled events: packet deliveries to
+/// the downstream peer, credit returns to the upstream peer, and wake-ups
+/// for the switch itself.
+#[derive(Debug, Clone)]
+pub enum SwitchAction {
+    /// Begin transmitting `packet` on `egress`: the first bit leaves
+    /// `start_after` from now (arbitration overhead) and the last bit
+    /// `start_after + serialize` from now.
+    Transmit {
+        /// Egress port.
+        egress: PortId,
+        /// The packet being forwarded.
+        packet: Packet,
+        /// Arbitration/scan delay before the first bit.
+        start_after: SimDuration,
+        /// Wire serialization time of the whole packet.
+        serialize: SimDuration,
+    },
+    /// Return `bytes` of VL credits to the device upstream of `ingress`
+    /// (buffer space was freed by a dequeue).
+    ReturnCredit {
+        /// The ingress port whose buffer freed space.
+        ingress: PortId,
+        /// The virtual lane.
+        vl: VirtualLane,
+        /// Freed bytes.
+        bytes: u64,
+    },
+    /// Ask to be woken (via [`Switch::egress_wake`]) for `egress` at `at` —
+    /// a buffered packet becomes eligible or the port frees up then.
+    Wake {
+        /// The egress port to re-arbitrate.
+        egress: PortId,
+        /// The wake-up instant.
+        at: SimTime,
+    },
+}
+
+/// Aggregate switch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Data + control packets forwarded.
+    pub forwarded_packets: u64,
+    /// Wire bytes forwarded.
+    pub forwarded_bytes: u64,
+    /// Dispatch attempts that found candidates blocked only by missing
+    /// downstream credits.
+    pub credit_stalls: u64,
+    /// Admissions that exceeded an advertised input buffer (protocol
+    /// violations by the upstream device).
+    pub buffer_violations: u64,
+}
+
+/// An input-buffered, credit-flow-controlled IB switch.
+///
+/// See the crate docs for the architecture. The switch is driven by three
+/// entry points — [`Switch::packet_arrival`], [`Switch::egress_wake`] and
+/// [`Switch::credit_from_downstream`] — each returning the actions the
+/// fabric must schedule.
+#[derive(Debug)]
+pub struct Switch {
+    cfg: SwitchConfig,
+    data_rate: LinkRate,
+    /// Input buffers, indexed `[ingress port][vl]`.
+    buffers: Vec<Vec<VlBuffer>>,
+    /// Credits held toward the peer downstream of each egress port.
+    down_credits: Vec<CreditLedger>,
+    vlarbs: Vec<VlArbiter>,
+    scheds: Vec<PacketScheduler>,
+    busy_until: Vec<SimTime>,
+    fwd: ForwardingTable,
+    rng: SimRng,
+    stats: SwitchStats,
+}
+
+impl Switch {
+    /// Builds a switch from its configuration and the attached link's data
+    /// rate. Downstream credit ledgers default to one input-buffer grant
+    /// per VL (symmetric switches); override per port with
+    /// [`Switch::set_downstream_credits`] for host-facing ports.
+    pub fn new(cfg: SwitchConfig, data_rate: LinkRate, rng: SimRng) -> Self {
+        let ports = cfg.ports as usize;
+        let vls = cfg.vls;
+        let buffers = (0..ports)
+            .map(|_| {
+                (0..vls)
+                    .map(|_| VlBuffer::new(cfg.input_buffer_bytes))
+                    .collect()
+            })
+            .collect();
+        let down_credits = (0..ports)
+            .map(|_| CreditLedger::new(vls, cfg.input_buffer_bytes))
+            .collect();
+        let vlarbs = (0..ports).map(|_| VlArbiter::new(cfg.vlarb.clone())).collect();
+        let scheds = (0..ports)
+            .map(|_| PacketScheduler::new(cfg.policy, cfg.ports))
+            .collect();
+        Switch {
+            data_rate,
+            buffers,
+            down_credits,
+            vlarbs,
+            scheds,
+            busy_until: vec![SimTime::ZERO; ports],
+            fwd: ForwardingTable::new(),
+            rng,
+            stats: SwitchStats::default(),
+            cfg,
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> u8 {
+        self.cfg.ports
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// Programs the forwarding table: traffic for `lid` leaves via `port`.
+    pub fn set_route(&mut self, lid: Lid, port: PortId) {
+        self.fwd.set(lid, port);
+    }
+
+    /// Replaces the credit ledger toward the peer on `port` (call when the
+    /// peer's advertisement differs from switch-buffer symmetry, e.g. a
+    /// host RNIC).
+    pub fn set_downstream_credits(&mut self, port: PortId, ledger: CreditLedger) {
+        self.down_credits[port.index()] = ledger;
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SwitchStats {
+        let mut s = self.stats;
+        s.buffer_violations = self
+            .buffers
+            .iter()
+            .flatten()
+            .map(|b| b.violations())
+            .sum();
+        s
+    }
+
+    /// Bytes buffered on one (ingress, VL) pair.
+    pub fn occupancy(&self, ingress: PortId, vl: VirtualLane) -> u64 {
+        self.buffers[ingress.index()][vl.index()].occupied()
+    }
+
+    /// Total bytes buffered switch-wide.
+    pub fn total_buffered(&self) -> u64 {
+        self.buffers.iter().flatten().map(|b| b.occupied()).sum()
+    }
+
+    /// `true` if the egress port is mid-transmission at `now`.
+    pub fn egress_busy(&self, egress: PortId, now: SimTime) -> bool {
+        self.busy_until[egress.index()] > now
+    }
+
+    /// A packet's first bit has arrived on `ingress` at `now`.
+    ///
+    /// The packet is admitted to its VL's input buffer (the upstream sender
+    /// spent a credit for it) and becomes eligible for arbitration after
+    /// the ingress pipeline latency plus per-packet jitter (cut-through:
+    /// eligibility does not wait for the last bit; at equal port rates the
+    /// egress can never underrun).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination LID has no forwarding entry (a fabric
+    /// wiring bug).
+    pub fn packet_arrival(
+        &mut self,
+        now: SimTime,
+        ingress: PortId,
+        packet: Packet,
+    ) -> Vec<SwitchAction> {
+        let egress = self
+            .fwd
+            .route(packet.dst)
+            .unwrap_or_else(|| panic!("no route for {} in switch forwarding table", packet.dst));
+        let vl = self.cfg.sl2vl.vl_for(packet.sl);
+        let jitter = match &self.cfg.jitter {
+            Some(j) => j.sample(&mut self.rng),
+            None => SimDuration::ZERO,
+        };
+        let eligible_at = now + self.cfg.pipeline_latency + jitter;
+        self.buffers[ingress.index()][vl.index()].push(BufEntry {
+            packet,
+            arrival: now,
+            eligible_at,
+        });
+        let mut out = Vec::new();
+        if self.busy_until[egress.index()] <= now && eligible_at <= now {
+            self.try_dispatch(now, egress, &mut out);
+        } else {
+            out.push(SwitchAction::Wake {
+                egress,
+                at: eligible_at.max(self.busy_until[egress.index()]),
+            });
+        }
+        out
+    }
+
+    /// A previously requested wake-up for `egress` fired.
+    pub fn egress_wake(&mut self, now: SimTime, egress: PortId) -> Vec<SwitchAction> {
+        let mut out = Vec::new();
+        self.try_dispatch(now, egress, &mut out);
+        out
+    }
+
+    /// The peer downstream of `egress` freed `bytes` of VL buffer.
+    pub fn credit_from_downstream(
+        &mut self,
+        now: SimTime,
+        egress: PortId,
+        vl: VirtualLane,
+        bytes: u64,
+    ) -> Vec<SwitchAction> {
+        self.down_credits[egress.index()].replenish(vl, bytes);
+        let mut out = Vec::new();
+        self.try_dispatch(now, egress, &mut out);
+        out
+    }
+
+    /// Runs one arbitration round for `egress`; dispatches at most one
+    /// packet (the port is then busy until its serialization completes).
+    fn try_dispatch(&mut self, now: SimTime, egress: PortId, out: &mut Vec<SwitchAction>) {
+        let e = egress.index();
+        if self.busy_until[e] > now {
+            // Mid-transmission; the Wake issued at dispatch covers us.
+            return;
+        }
+
+        // Gather head-of-buffer candidates destined to this egress.
+        let mut per_vl: Vec<(VirtualLane, Vec<(PortId, SimTime)>)> = Vec::new();
+        let mut scanned: u64 = 0;
+        let mut earliest_future: Option<SimTime> = None;
+        let mut credit_blocked = false;
+        for p in 0..self.cfg.ports {
+            for v in 0..self.cfg.vls {
+                let Some(head) = self.buffers[p as usize][v as usize].head() else {
+                    continue;
+                };
+                let Some(dst_port) = self.fwd.route(head.packet.dst) else {
+                    continue;
+                };
+                if dst_port != egress {
+                    continue;
+                }
+                scanned += 1;
+                if head.eligible_at > now {
+                    earliest_future = Some(match earliest_future {
+                        Some(t) => t.min(head.eligible_at),
+                        None => head.eligible_at,
+                    });
+                    continue;
+                }
+                let vl = VirtualLane::new(v);
+                if !self.down_credits[e].can_send(vl, head.packet.wire_size()) {
+                    credit_blocked = true;
+                    continue;
+                }
+                match per_vl.iter_mut().find(|(cand_vl, _)| *cand_vl == vl) {
+                    Some((_, list)) => list.push((PortId::new(p), head.arrival)),
+                    None => per_vl.push((vl, vec![(PortId::new(p), head.arrival)])),
+                }
+            }
+        }
+
+        let vls: Vec<VirtualLane> = per_vl.iter().map(|(vl, _)| *vl).collect();
+        let Some(vl) = self.vlarbs[e].choose(&vls) else {
+            if credit_blocked {
+                self.stats.credit_stalls += 1;
+            }
+            if let Some(at) = earliest_future {
+                out.push(SwitchAction::Wake { egress, at });
+            }
+            return;
+        };
+        let candidates = &per_vl
+            .iter()
+            .find(|(cand_vl, _)| *cand_vl == vl)
+            .expect("chosen VL came from the candidate set")
+            .1;
+        let ingress = self.scheds[e]
+            .pick(candidates)
+            .expect("scheduler must pick among non-empty candidates");
+
+        let entry = self.buffers[ingress.index()][vl.index()]
+            .pop()
+            .expect("candidate head vanished");
+        let size = entry.packet.wire_size();
+        let consumed = self.down_credits[e].consume(vl, size);
+        debug_assert!(consumed, "candidate was filtered by credit availability");
+        self.vlarbs[e].account(vl, size);
+        self.scheds[e].account(ingress, size);
+
+        let serialize = self.data_rate.serialize_time(size);
+        // Arbitration scan: linear in the number of *contending* heads
+        // beyond the first, but a pipelined arbiter never spends more than
+        // a small fraction of a packet time deciding.
+        let scan = (self.cfg.arb_scan_per_port * scanned.saturating_sub(1))
+            .min(SimDuration::from_ps(serialize.as_ps() / 10));
+        self.busy_until[e] = now + scan + serialize;
+        self.stats.forwarded_packets += 1;
+        self.stats.forwarded_bytes += size;
+
+        out.push(SwitchAction::ReturnCredit {
+            ingress,
+            vl,
+            bytes: size,
+        });
+        out.push(SwitchAction::Transmit {
+            egress,
+            packet: entry.packet,
+            start_after: scan,
+            serialize,
+        });
+        out.push(SwitchAction::Wake {
+            egress,
+            at: self.busy_until[e],
+        });
+
+        // The dequeue may expose a head packet bound for a *different*
+        // egress whose arbiter has no pending wake (its arrival wake fired
+        // while this packet blocked the FIFO). Chain a wake so progress on
+        // one output port can never strand traffic for another.
+        if let Some(next) = self.buffers[ingress.index()][vl.index()].head() {
+            if let Some(next_egress) = self.fwd.route(next.packet.dst) {
+                if next_egress != egress {
+                    out.push(SwitchAction::Wake {
+                        egress: next_egress,
+                        at: now.max(next.eligible_at),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rperf_model::config::{ClusterConfig, SchedPolicy};
+    use rperf_model::ids::PacketId;
+    use rperf_model::{FlowId, MsgId, PacketKind, QpNum, ServiceLevel, Transport, Verb};
+
+    fn test_switch(policy: SchedPolicy) -> Switch {
+        let mut cfg = ClusterConfig::omnet_simulator().switch;
+        cfg.policy = policy;
+        let rate = ClusterConfig::omnet_simulator().link.data_rate();
+        let mut sw = Switch::new(cfg, rate, SimRng::new(1));
+        for lid in 0..7u16 {
+            sw.set_route(Lid::new(lid), PortId::new(lid as u8));
+        }
+        sw
+    }
+
+    fn pkt(id: u64, dst: u16, payload: u64, sl: u8) -> Packet {
+        Packet {
+            id: PacketId::new(id),
+            flow: FlowId::new(0),
+            msg: MsgId::new(id),
+            src: Lid::new(6),
+            dst: Lid::new(dst),
+            dst_qp: QpNum::new(0),
+            sl: ServiceLevel::new(sl),
+            kind: PacketKind::Data {
+                verb: Verb::Send,
+                transport: Transport::Rc,
+                index: 0,
+                last: true,
+            },
+            payload,
+            overhead: 52,
+            injected_at: SimTime::ZERO,
+        }
+    }
+
+    fn wake_of(actions: &[SwitchAction]) -> SimTime {
+        actions
+            .iter()
+            .find_map(|a| match a {
+                SwitchAction::Wake { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("expected a wake action")
+    }
+
+    #[test]
+    fn zero_load_forwarding_timing() {
+        let mut sw = test_switch(SchedPolicy::Fcfs);
+        let t0 = SimTime::from_ns(100);
+        let actions = sw.packet_arrival(t0, PortId::new(1), pkt(1, 0, 64, 0));
+        // Not yet eligible: a wake at t0 + pipeline (no jitter in the
+        // simulator profile).
+        let at = wake_of(&actions);
+        assert_eq!(at, t0 + sw.config().pipeline_latency);
+
+        let actions = sw.egress_wake(at, PortId::new(0));
+        let transmit = actions
+            .iter()
+            .find_map(|a| match a {
+                SwitchAction::Transmit {
+                    egress,
+                    packet,
+                    start_after,
+                    serialize,
+                } => Some((*egress, packet.clone(), *start_after, *serialize)),
+                _ => None,
+            })
+            .expect("expected a transmit");
+        assert_eq!(transmit.0, PortId::new(0));
+        assert_eq!(transmit.1.id, PacketId::new(1));
+        // Simulator profile has no arbitration scan cost.
+        assert_eq!(transmit.2, SimDuration::ZERO);
+        assert!(transmit.3 > SimDuration::ZERO);
+        assert_eq!(sw.stats().forwarded_packets, 1);
+    }
+
+    #[test]
+    fn credit_returned_on_dispatch() {
+        let mut sw = test_switch(SchedPolicy::Fcfs);
+        let t0 = SimTime::from_ns(0);
+        let a = sw.packet_arrival(t0, PortId::new(1), pkt(1, 0, 4096, 0));
+        let at = wake_of(&a);
+        let actions = sw.egress_wake(at, PortId::new(0));
+        let credit = actions.iter().find_map(|a| match a {
+            SwitchAction::ReturnCredit { ingress, vl, bytes } => Some((*ingress, *vl, *bytes)),
+            _ => None,
+        });
+        assert_eq!(credit, Some((PortId::new(1), VirtualLane::new(0), 4148)));
+    }
+
+    #[test]
+    fn fcfs_orders_across_ingress_ports() {
+        let mut sw = test_switch(SchedPolicy::Fcfs);
+        // Two packets from different ports, second-arrived on lower port id.
+        sw.packet_arrival(SimTime::from_ns(10), PortId::new(3), pkt(1, 0, 64, 0));
+        let a = sw.packet_arrival(SimTime::from_ns(20), PortId::new(2), pkt(2, 0, 64, 0));
+        let at = wake_of(&a).max(SimTime::from_ns(10) + sw.config().pipeline_latency);
+        let first = sw.egress_wake(at, PortId::new(0));
+        let got = first
+            .iter()
+            .find_map(|a| match a {
+                SwitchAction::Transmit { packet, .. } => Some(packet.id),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(got, PacketId::new(1), "older arrival must win under FCFS");
+    }
+
+    #[test]
+    fn rr_alternates_between_ports() {
+        let mut sw = test_switch(SchedPolicy::RoundRobin);
+        let t = SimTime::from_ns(0);
+        // Queue two packets per port.
+        for (port, base) in [(1u8, 10u64), (2, 20)] {
+            for k in 0..2 {
+                sw.packet_arrival(
+                    SimTime::from_ns(base + k),
+                    PortId::new(port),
+                    pkt(u64::from(port) * 10 + k, 0, 64, 0),
+                );
+            }
+        }
+        let mut now = t + sw.config().pipeline_latency + SimDuration::from_ns(30);
+        let mut order = Vec::new();
+        for _ in 0..4 {
+            let actions = sw.egress_wake(now, PortId::new(0));
+            for a in &actions {
+                if let SwitchAction::Transmit { packet, .. } = a {
+                    order.push(packet.id.raw() / 10);
+                }
+            }
+            now = wake_of(&actions).max(now + SimDuration::from_ns(1));
+        }
+        assert_eq!(order, vec![1, 2, 1, 2], "RR must alternate ports");
+    }
+
+    #[test]
+    fn dispatch_blocked_without_credits_resumes_on_replenish() {
+        let mut sw = test_switch(SchedPolicy::Fcfs);
+        // Downstream grants exactly one 4148 B packet of credit on VL0.
+        sw.set_downstream_credits(PortId::new(0), CreditLedger::new(9, 4_148));
+        sw.packet_arrival(SimTime::ZERO, PortId::new(1), pkt(1, 0, 4096, 0));
+        let a = sw.packet_arrival(SimTime::ZERO, PortId::new(2), pkt(2, 0, 4096, 0));
+        let at = wake_of(&a);
+        // First packet dispatches and consumes the whole grant.
+        let first = sw.egress_wake(at, PortId::new(0));
+        let busy_until = wake_of(&first);
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(1))));
+
+        // Port free again, but the second packet has no credits.
+        let actions = sw.egress_wake(busy_until, PortId::new(0));
+        assert!(
+            actions.is_empty(),
+            "second packet must stall without credits: {actions:?}"
+        );
+        assert_eq!(sw.stats().credit_stalls, 1);
+        assert_eq!(sw.total_buffered(), 4148);
+
+        // Credits return from downstream: dispatch proceeds.
+        let actions = sw.credit_from_downstream(
+            busy_until + SimDuration::from_ns(10),
+            PortId::new(0),
+            VirtualLane::new(0),
+            4_148,
+        );
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(2))),
+            "{actions:?}"
+        );
+        assert_eq!(sw.total_buffered(), 0);
+    }
+
+    #[test]
+    fn high_priority_vl_preempts_queued_low() {
+        let mut cfg = ClusterConfig::omnet_simulator().with_dedicated_sl().switch;
+        cfg.policy = SchedPolicy::Fcfs;
+        let rate = ClusterConfig::omnet_simulator().link.data_rate();
+        let mut sw = Switch::new(cfg, rate, SimRng::new(2));
+        sw.set_route(Lid::new(0), PortId::new(0));
+
+        // Older low-priority packet and newer high-priority packet, both
+        // eligible.
+        sw.packet_arrival(SimTime::from_ns(0), PortId::new(1), pkt(1, 0, 4096, 0));
+        sw.packet_arrival(SimTime::from_ns(50), PortId::new(2), pkt(2, 0, 64, 1));
+        let now = SimTime::from_ns(300);
+        let actions = sw.egress_wake(now, PortId::new(0));
+        let got = actions
+            .iter()
+            .find_map(|a| match a {
+                SwitchAction::Transmit { packet, .. } => Some(packet.id),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(
+            got,
+            PacketId::new(2),
+            "high-priority VL1 must be served before VL0 despite FCFS age"
+        );
+    }
+
+    #[test]
+    fn busy_egress_defers_dispatch() {
+        let mut sw = test_switch(SchedPolicy::Fcfs);
+        sw.packet_arrival(SimTime::ZERO, PortId::new(1), pkt(1, 0, 4096, 0));
+        let at = SimTime::ZERO + sw.config().pipeline_latency;
+        let first = sw.egress_wake(at, PortId::new(0));
+        let busy_until = wake_of(&first);
+        // Second packet eligible while port busy.
+        sw.packet_arrival(at, PortId::new(2), pkt(2, 0, 64, 0));
+        let mid = at + SimDuration::from_ns(250);
+        assert!(sw.egress_busy(PortId::new(0), mid));
+        let none = sw.egress_wake(mid, PortId::new(0));
+        assert!(none.is_empty(), "{none:?}");
+        // At busy_until the port frees and forwards the second packet.
+        let actions = sw.egress_wake(busy_until, PortId::new(0));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(2))));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unrouted_destination_panics() {
+        let mut sw = test_switch(SchedPolicy::Fcfs);
+        sw.packet_arrival(SimTime::ZERO, PortId::new(0), pkt(1, 600, 64, 0));
+    }
+
+    #[test]
+    fn occupancy_queries() {
+        let mut sw = test_switch(SchedPolicy::Fcfs);
+        sw.packet_arrival(SimTime::ZERO, PortId::new(1), pkt(1, 0, 4096, 0));
+        assert_eq!(sw.occupancy(PortId::new(1), VirtualLane::new(0)), 4148);
+        assert_eq!(sw.occupancy(PortId::new(2), VirtualLane::new(0)), 0);
+        assert_eq!(sw.total_buffered(), 4148);
+    }
+}

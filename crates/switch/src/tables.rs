@@ -1,0 +1,85 @@
+//! Linear forwarding tables.
+
+use std::collections::BTreeMap;
+
+use rperf_model::{Lid, PortId};
+
+/// A LID → egress-port forwarding table, programmed by the subnet manager
+/// at fabric bring-up.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_model::{Lid, PortId};
+/// use rperf_switch::ForwardingTable;
+///
+/// let mut t = ForwardingTable::new();
+/// t.set(Lid::new(5), PortId::new(2));
+/// assert_eq!(t.route(Lid::new(5)), Some(PortId::new(2)));
+/// assert_eq!(t.route(Lid::new(6)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ForwardingTable {
+    entries: BTreeMap<u16, PortId>,
+}
+
+impl ForwardingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Programs (or reprograms) the egress port for a destination LID.
+    pub fn set(&mut self, lid: Lid, port: PortId) {
+        self.entries.insert(lid.raw(), port);
+    }
+
+    /// Looks up the egress port for a destination LID.
+    pub fn route(&self, lid: Lid) -> Option<PortId> {
+        self.entries.get(&lid.raw()).copied()
+    }
+
+    /// Number of programmed destinations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is programmed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(Lid, PortId)> for ForwardingTable {
+    fn from_iter<I: IntoIterator<Item = (Lid, PortId)>>(iter: I) -> Self {
+        let mut t = ForwardingTable::new();
+        for (lid, port) in iter {
+            t.set(lid, port);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_overwrites() {
+        let mut t = ForwardingTable::new();
+        t.set(Lid::new(1), PortId::new(0));
+        t.set(Lid::new(1), PortId::new(3));
+        assert_eq!(t.route(Lid::new(1)), Some(PortId::new(3)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: ForwardingTable = (0..4u16)
+            .map(|i| (Lid::new(i), PortId::new(i as u8)))
+            .collect();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.route(Lid::new(2)), Some(PortId::new(2)));
+        assert!(!t.is_empty());
+    }
+}

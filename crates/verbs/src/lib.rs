@@ -1,0 +1,29 @@
+//! The RDMA verbs layer: the software-visible abstractions of an
+//! InfiniBand channel adapter.
+//!
+//! This crate mirrors the subset of `libibverbs` the paper's tools exercise:
+//!
+//! * [`SendWr`] / [`RecvWr`] — work requests, with the verb/transport
+//!   validity matrix of Section II (UD supports only two-sided verbs; RC
+//!   supports SEND/RECV, WRITE and READ).
+//! * [`QueuePair`] — per-QP queues and requester/responder protocol state
+//!   (outstanding messages, completion rules per Fig. 1 of the paper).
+//! * [`CompletionQueue`] / [`Cqe`] — the asynchronous completion channel
+//!   applications poll.
+//!
+//! The *timing* of every transition lives in `rperf-rnic`; this crate owns
+//! the *semantics* (what completes when, and with which ordering
+//! guarantees), so the protocol rules are testable without a simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cq;
+mod error;
+mod qp;
+mod wr;
+
+pub use cq::{CompletionQueue, Cqe, CqeOpcode};
+pub use error::VerbsError;
+pub use qp::{CompletionRule, OutstandingMsg, QueuePair};
+pub use wr::{RecvWr, SendWr, WrId};

@@ -1,0 +1,318 @@
+//! Queue pairs and transport protocol state.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rperf_model::{MsgId, QpNum, Transport, Verb};
+use rperf_sim::SimTime;
+
+use crate::error::VerbsError;
+use crate::wr::{RecvWr, SendWr};
+
+/// IB's maximum message size (2 GB).
+pub const MAX_MESSAGE_BYTES: u64 = 1 << 31;
+
+/// When the requester-side CQE for a work request may be generated —
+/// the execution-path distinctions of Fig. 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionRule {
+    /// As soon as the last packet is on the wire (UD SEND, Fig. 1c).
+    OnWireExit,
+    /// When the transport-level ACK returns (RC SEND and WRITE,
+    /// Fig. 1b/1d).
+    OnAck,
+    /// When the response data has been DMA-written locally (READ, Fig. 1a).
+    OnDataLanded,
+}
+
+/// A message handed to the RNIC engine and not yet completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutstandingMsg {
+    /// Fabric-wide message id.
+    pub msg: MsgId,
+    /// The originating work request.
+    pub wr: SendWr,
+    /// When software posted the request.
+    pub posted_at: SimTime,
+}
+
+/// One side of an RDMA connection: send queue, receive queue and
+/// requester/responder protocol state.
+///
+/// The queue pair is a *semantic* state machine: the RNIC model drives it
+/// and attaches timing. All transitions validate protocol rules and return
+/// [`VerbsError`] on violations.
+///
+/// # Examples
+///
+/// ```
+/// use rperf_model::{Transport, Verb};
+/// use rperf_verbs::{QueuePair, SendWr, WrId};
+/// use rperf_model::QpNum;
+///
+/// let mut qp = QueuePair::new(QpNum::new(1), Transport::Rc);
+/// qp.post_send(SendWr::new(WrId(1), Verb::Send, 64))?;
+/// let wr = qp.pop_send().unwrap();
+/// assert_eq!(wr.wr_id, WrId(1));
+/// # Ok::<(), rperf_verbs::VerbsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueuePair {
+    num: QpNum,
+    transport: Transport,
+    sq: VecDeque<SendWr>,
+    rq: VecDeque<RecvWr>,
+    outstanding: BTreeMap<u64, OutstandingMsg>,
+    next_psn: u32,
+    posted_sends: u64,
+    completed_sends: u64,
+}
+
+impl QueuePair {
+    /// Creates a queue pair.
+    pub fn new(num: QpNum, transport: Transport) -> Self {
+        QueuePair {
+            num,
+            transport,
+            sq: VecDeque::new(),
+            rq: VecDeque::new(),
+            outstanding: BTreeMap::new(),
+            next_psn: 0,
+            posted_sends: 0,
+            completed_sends: 0,
+        }
+    }
+
+    /// The queue pair number.
+    pub fn num(&self) -> QpNum {
+        self.num
+    }
+
+    /// The transport type.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Posts a send-queue work request.
+    ///
+    /// # Errors
+    ///
+    /// * [`VerbsError::InvalidVerbForTransport`] for one-sided verbs on UD.
+    /// * [`VerbsError::PayloadTooLarge`] beyond IB's 2 GB message limit.
+    pub fn post_send(&mut self, wr: SendWr) -> Result<(), VerbsError> {
+        if !wr.valid_for(self.transport) {
+            return Err(VerbsError::InvalidVerbForTransport {
+                verb: wr.verb,
+                transport: self.transport,
+            });
+        }
+        if wr.payload > MAX_MESSAGE_BYTES {
+            return Err(VerbsError::PayloadTooLarge {
+                requested: wr.payload,
+                limit: MAX_MESSAGE_BYTES,
+            });
+        }
+        self.sq.push_back(wr);
+        self.posted_sends += 1;
+        Ok(())
+    }
+
+    /// Posts a receive-queue work request.
+    pub fn post_recv(&mut self, wr: RecvWr) {
+        self.rq.push_back(wr);
+    }
+
+    /// Takes the next work request off the send queue (engine side).
+    pub fn pop_send(&mut self) -> Option<SendWr> {
+        self.sq.pop_front()
+    }
+
+    /// Pending send-queue depth.
+    pub fn sq_depth(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Pending receive-queue depth.
+    pub fn rq_depth(&self) -> usize {
+        self.rq.len()
+    }
+
+    /// Outstanding (sent, unacknowledged) messages.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Allocates the next packet sequence number range for `n` packets.
+    pub fn take_psns(&mut self, n: u32) -> u32 {
+        let first = self.next_psn;
+        self.next_psn = self.next_psn.wrapping_add(n);
+        first
+    }
+
+    /// Registers a message the engine has started transmitting.
+    pub fn register_outstanding(&mut self, msg: MsgId, wr: SendWr, posted_at: SimTime) {
+        self.outstanding.insert(
+            msg.raw(),
+            OutstandingMsg {
+                msg,
+                wr,
+                posted_at,
+            },
+        );
+    }
+
+    /// Resolves an ACK (or READ-response completion) against an outstanding
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// [`VerbsError::UnknownMessage`] if the message was never registered —
+    /// a duplicate or misrouted ACK.
+    pub fn complete(&mut self, msg: MsgId) -> Result<OutstandingMsg, VerbsError> {
+        let out = self
+            .outstanding
+            .remove(&msg.raw())
+            .ok_or(VerbsError::UnknownMessage { qp: self.num })?;
+        self.completed_sends += 1;
+        Ok(out)
+    }
+
+    /// Consumes a pre-posted RECV for an incoming SEND.
+    ///
+    /// # Errors
+    ///
+    /// [`VerbsError::ReceiverNotReady`] if the receive queue is empty.
+    pub fn consume_recv(&mut self) -> Result<RecvWr, VerbsError> {
+        self.rq
+            .pop_front()
+            .ok_or(VerbsError::ReceiverNotReady { qp: self.num })
+    }
+
+    /// The requester completion rule for a work request on this QP
+    /// (Fig. 1 of the paper).
+    pub fn completion_rule(&self, wr: &SendWr) -> CompletionRule {
+        match (self.transport, wr.verb) {
+            (Transport::Ud, _) => CompletionRule::OnWireExit,
+            (Transport::Rc, Verb::Read) => CompletionRule::OnDataLanded,
+            (Transport::Rc, _) => CompletionRule::OnAck,
+        }
+    }
+
+    /// Total send work requests ever posted.
+    pub fn posted_sends(&self) -> u64 {
+        self.posted_sends
+    }
+
+    /// Total send work requests ever completed.
+    pub fn completed_sends(&self) -> u64 {
+        self.completed_sends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wr::WrId;
+
+    fn rc_qp() -> QueuePair {
+        QueuePair::new(QpNum::new(1), Transport::Rc)
+    }
+
+    #[test]
+    fn post_pop_fifo() {
+        let mut qp = rc_qp();
+        qp.post_send(SendWr::new(WrId(1), Verb::Send, 64)).unwrap();
+        qp.post_send(SendWr::new(WrId(2), Verb::Send, 64)).unwrap();
+        assert_eq!(qp.sq_depth(), 2);
+        assert_eq!(qp.pop_send().unwrap().wr_id, WrId(1));
+        assert_eq!(qp.pop_send().unwrap().wr_id, WrId(2));
+        assert!(qp.pop_send().is_none());
+    }
+
+    #[test]
+    fn ud_rejects_one_sided() {
+        let mut qp = QueuePair::new(QpNum::new(2), Transport::Ud);
+        let err = qp
+            .post_send(SendWr::new(WrId(1), Verb::Write, 64))
+            .unwrap_err();
+        assert!(matches!(err, VerbsError::InvalidVerbForTransport { .. }));
+        assert!(qp.post_send(SendWr::new(WrId(1), Verb::Send, 64)).is_ok());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut qp = rc_qp();
+        let err = qp
+            .post_send(SendWr::new(WrId(1), Verb::Send, MAX_MESSAGE_BYTES + 1))
+            .unwrap_err();
+        assert!(matches!(err, VerbsError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
+    fn outstanding_lifecycle() {
+        let mut qp = rc_qp();
+        let wr = SendWr::new(WrId(9), Verb::Send, 64);
+        qp.register_outstanding(MsgId::new(5), wr, SimTime::from_ns(1));
+        assert_eq!(qp.outstanding(), 1);
+        let done = qp.complete(MsgId::new(5)).unwrap();
+        assert_eq!(done.wr.wr_id, WrId(9));
+        assert_eq!(qp.outstanding(), 0);
+        assert_eq!(qp.completed_sends(), 1);
+    }
+
+    #[test]
+    fn duplicate_ack_is_an_error() {
+        let mut qp = rc_qp();
+        qp.register_outstanding(
+            MsgId::new(5),
+            SendWr::new(WrId(1), Verb::Send, 64),
+            SimTime::ZERO,
+        );
+        qp.complete(MsgId::new(5)).unwrap();
+        assert!(matches!(
+            qp.complete(MsgId::new(5)),
+            Err(VerbsError::UnknownMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn recv_consumption_in_order() {
+        let mut qp = rc_qp();
+        qp.post_recv(RecvWr::new(WrId(10), 4096));
+        qp.post_recv(RecvWr::new(WrId(11), 4096));
+        assert_eq!(qp.consume_recv().unwrap().wr_id, WrId(10));
+        assert_eq!(qp.consume_recv().unwrap().wr_id, WrId(11));
+        assert!(matches!(
+            qp.consume_recv(),
+            Err(VerbsError::ReceiverNotReady { .. })
+        ));
+    }
+
+    #[test]
+    fn completion_rules_match_fig1() {
+        let rc = rc_qp();
+        let ud = QueuePair::new(QpNum::new(3), Transport::Ud);
+        let send = SendWr::new(WrId(0), Verb::Send, 1);
+        let write = SendWr::new(WrId(0), Verb::Write, 1);
+        let read = SendWr::new(WrId(0), Verb::Read, 1);
+        assert_eq!(ud.completion_rule(&send), CompletionRule::OnWireExit);
+        assert_eq!(rc.completion_rule(&send), CompletionRule::OnAck);
+        assert_eq!(rc.completion_rule(&write), CompletionRule::OnAck);
+        assert_eq!(rc.completion_rule(&read), CompletionRule::OnDataLanded);
+    }
+
+    #[test]
+    fn psn_allocation_is_contiguous() {
+        let mut qp = rc_qp();
+        assert_eq!(qp.take_psns(4), 0);
+        assert_eq!(qp.take_psns(2), 4);
+        assert_eq!(qp.take_psns(1), 6);
+    }
+
+    #[test]
+    fn psn_wraps() {
+        let mut qp = rc_qp();
+        qp.take_psns(u32::MAX);
+        let next = qp.take_psns(2);
+        assert_eq!(next, u32::MAX);
+    }
+}

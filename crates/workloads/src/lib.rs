@@ -1,0 +1,27 @@
+//! Traffic generators: the paper's two workload archetypes plus the
+//! QoS-gaming adversary.
+//!
+//! * [`Bsg`] — the **Bandwidth-Sensitive Generator** (Section V): open-loop
+//!   RC SEND flows with a configurable payload size, posting window and
+//!   doorbell batching; measures its achieved goodput from acknowledged
+//!   messages inside the measurement window.
+//! * [`ClosedLoopPing`] — the **Latency-Sensitive Generator** skeleton:
+//!   synchronous (closed-loop) small messages, one outstanding at a time.
+//!   The paper's LSG measures its RTT with RPerf (crate `rperf`); this app
+//!   provides the plain application-level view used for cross-checks.
+//! * [`PretendLsg`] — a BSG that games the QoS configuration
+//!   (Section VIII-C): bulk data segmented into small high-SL messages,
+//!   posted in aggressive bursts.
+//! * [`Sink`] — the destination server: keeps receive queues charged and
+//!   counts per-run deliveries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bsg;
+mod lsg;
+mod sink;
+
+pub use bsg::{Bsg, BsgConfig, PretendLsg};
+pub use lsg::{ClosedLoopPing, LsgConfig};
+pub use sink::Sink;

@@ -1,0 +1,54 @@
+//! Quickstart: measure the RTT through a simulated InfiniBand switch with
+//! RPerf.
+//!
+//! Builds a two-host rack (one generator, one destination) behind the
+//! calibrated SX6012-class switch model, runs RPerf's loopback-subtraction
+//! methodology for a few simulated milliseconds and prints the RTT
+//! percentiles — the Fig. 4 measurement in one page of code.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rperf::{RPerf, RPerfConfig};
+use rperf_fabric::{Fabric, Sim};
+use rperf_model::ClusterConfig;
+use rperf_sim::{SimDuration, SimTime};
+use rperf_workloads::Sink;
+
+fn main() {
+    // The calibrated hardware profile: 56 Gbps FDR links, ConnectX-4-class
+    // RNICs, cut-through switch with ~200 ns port-to-port latency.
+    let cluster = ClusterConfig::hardware();
+
+    // Two hosts behind the ToR switch; node 0 measures, node 1 sinks.
+    let fabric = Fabric::single_switch(cluster, 2, /* seed */ 42);
+    let mut sim = Sim::new(fabric);
+
+    sim.add_app(
+        0,
+        Box::new(RPerf::new(
+            RPerfConfig::new(/* target node */ 1)
+                .with_payload(64)
+                .with_warmup(SimDuration::from_us(100)),
+        )),
+    );
+    sim.add_app(1, Box::new(Sink::new()));
+
+    sim.start();
+    sim.run_until(SimTime::ZERO + SimDuration::from_ms(5));
+
+    let report = sim.app_as::<RPerf>(0).report();
+    println!("RPerf probes completed : {}", report.iterations);
+    println!("clock-order inversions : {}", report.inversions);
+    println!(
+        "RTT through the switch : p50 = {:.0} ns, p99 = {:.0} ns, p99.9 = {:.0} ns",
+        report.summary.p50_ns(),
+        report.summary.p99_ps as f64 / 1e3,
+        report.summary.p999_ns()
+    );
+    println!();
+    println!(
+        "The Mellanox spec promises ~200 ns port-to-port (≈400 ns RTT);\n\
+         RPerf resolves that — plus the µarch tail — because loopback\n\
+         subtraction removes every local-side overhead from the sample."
+    );
+}

@@ -1,0 +1,14 @@
+//! The `rperf-lab` meta-crate: re-exports the whole rperf-rs workspace
+//! so the examples and integration tests at the repository root can use
+//! every public API through one dependency.
+pub use rperf;
+pub use rperf_fabric;
+pub use rperf_host;
+pub use rperf_model;
+pub use rperf_rnic;
+pub use rperf_sim;
+pub use rperf_stats;
+pub use rperf_subnet;
+pub use rperf_switch;
+pub use rperf_verbs;
+pub use rperf_workloads;
