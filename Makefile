@@ -1,0 +1,30 @@
+# Developer entry points. `make ci` is the gate every change must pass;
+# it is what .github/workflows/ci.yml runs.
+
+CARGO ?= cargo
+
+.PHONY: ci fmt lint build test bench report quick-report
+
+ci: fmt lint build test
+
+fmt:
+	$(CARGO) fmt --all --check
+
+lint:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release --workspace
+
+test:
+	$(CARGO) test -q --workspace
+
+bench:
+	$(CARGO) bench --workspace
+
+# Regenerates EXPERIMENTS.md + BENCH_report.json at full effort.
+report:
+	$(CARGO) run --release -p rperf-bench --bin report -- --jobs $(shell nproc)
+
+quick-report:
+	$(CARGO) run --release -p rperf-bench --bin report -- --quick --jobs $(shell nproc)

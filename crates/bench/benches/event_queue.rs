@@ -1,0 +1,91 @@
+//! Microbenchmarks for the simulator's event queue: raw schedule+pop
+//! throughput, the steady-state churn pattern every simulation runs, and
+//! the cost of growing an unsized heap vs. pre-sizing it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rperf_sim::{EventQueue, SimTime};
+
+/// A cheap deterministic time source so the heap sees out-of-order
+/// arrivals (in-order inserts would never exercise sift-up).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn bench_fill_then_drain(c: &mut Criterion) {
+    c.bench_function("event_queue/fill_drain_64k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1 << 16);
+            let mut rng = Lcg(1);
+            for i in 0..(1u64 << 16) {
+                // Increasing base plus jitter: past-scheduling is a panic.
+                q.schedule(SimTime::from_ns(i * 8 + rng.next() % 4096), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_steady_state_churn(c: &mut Criterion) {
+    // The pattern the driver loop actually runs: a small resident set of
+    // pending events with one pop and ~one push per handled event.
+    c.bench_function("event_queue/churn_1k_resident", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            let mut rng = Lcg(7);
+            for i in 0..1024u64 {
+                q.schedule(SimTime::from_ns(rng.next() % 10_000), i);
+            }
+            let mut sum = 0u64;
+            for _ in 0..100_000u64 {
+                let (now, e) = q.pop().expect("resident set never drains");
+                sum = sum.wrapping_add(e);
+                q.schedule(
+                    now + rperf_sim::SimDuration::from_ns(1 + rng.next() % 1000),
+                    e,
+                );
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_presize_vs_grow(c: &mut Criterion) {
+    c.bench_function("event_queue/fill_64k_presized", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1 << 16);
+            for i in 0..(1u64 << 16) {
+                q.schedule(SimTime::from_ns(i), i);
+            }
+            black_box(q.len())
+        });
+    });
+    c.bench_function("event_queue/fill_64k_growing", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..(1u64 << 16) {
+                q.schedule(SimTime::from_ns(i), i);
+            }
+            black_box(q.len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fill_then_drain,
+    bench_steady_state_churn,
+    bench_presize_vs_grow
+);
+criterion_main!(benches);

@@ -18,11 +18,8 @@ fn spec(effort: &Effort, cfg: ClusterConfig, base_ms: f64, seed: u64) -> RunSpec
 }
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::quick()
-    } else {
-        Effort::full()
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = Effort::from_args(&args);
 
     println!("# Ablations\n");
 
@@ -58,8 +55,22 @@ fn main() {
         for scan_ns in [0u64, 10, 20] {
             let mut cfg = ClusterConfig::hardware();
             cfg.switch.arb_scan_per_port = SimDuration::from_ns(scan_ns);
-            let one = converged(&spec(&effort, cfg.clone(), 20.0, 1), 1, 4096, 1, false, QosMode::SharedSl);
-            let five = converged(&spec(&effort, cfg, 20.0, 1), 5, 4096, 1, false, QosMode::SharedSl);
+            let one = converged(
+                &spec(&effort, cfg.clone(), 20.0, 1),
+                1,
+                4096,
+                1,
+                false,
+                QosMode::SharedSl,
+            );
+            let five = converged(
+                &spec(&effort, cfg, 20.0, 1),
+                5,
+                4096,
+                1,
+                false,
+                QosMode::SharedSl,
+            );
             println!(
                 "| {scan_ns} ns | {:.1} | {:.1} | {:.1} |",
                 one.total_gbps,
@@ -80,7 +91,14 @@ fn main() {
             let mut cfg = ClusterConfig::hardware();
             cfg.switch.input_buffer_bytes = kib * 1024;
             let rate = cfg.link.data_rate();
-            let out = converged(&spec(&effort, cfg, 30.0, 1), 5, 4096, 1, true, QosMode::SharedSl);
+            let out = converged(
+                &spec(&effort, cfg, 30.0, 1),
+                5,
+                4096,
+                1,
+                true,
+                QosMode::SharedSl,
+            );
             let w = rperf_model::analytic::fcfs_waiting_time(5, kib * 1024, rate);
             println!(
                 "| {kib} KiB | {:.1} | {:.1} |",
@@ -117,10 +135,10 @@ fn main() {
 /// Runs the gaming scenario with a given pretender WQE-engine speed;
 /// returns (real LSG p50 µs, pretend goodput Gbps).
 fn converged_with_pretend_engine(effort: &Effort, engine_ns: u64) -> (f64, f64) {
+    use rperf::{RPerf, RPerfConfig};
     use rperf_fabric::{FabricBuilder, Sim};
     use rperf_model::ServiceLevel;
     use rperf_workloads::{Bsg, BsgConfig, Sink};
-    use rperf::{RPerf, RPerfConfig};
 
     let cfg = ClusterConfig::hardware().with_dedicated_sl();
     let warmup = SimDuration::from_us(200);

@@ -21,11 +21,8 @@ const POLICIES: [(&str, SchedPolicy); 3] = [
 ];
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::quick()
-    } else {
-        Effort::full()
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = Effort::from_args(&args);
 
     println!("# Extension: proportionally fair packet scheduling\n");
 
@@ -96,12 +93,20 @@ fn main() {
         use rperf_sim::SimTime;
         use rperf_workloads::{Bsg, BsgConfig, Sink};
         let mut sim = Sim::new(Fabric::single_switch(spec.cfg.clone(), 4, spec.seed));
-        sim.add_app(0, Box::new(Bsg::new(BsgConfig::new(3, 4096).with_warmup(spec.warmup))));
-        sim.add_app(1, Box::new(Bsg::new(BsgConfig::new(3, 4096).with_warmup(spec.warmup))));
+        sim.add_app(
+            0,
+            Box::new(Bsg::new(BsgConfig::new(3, 4096).with_warmup(spec.warmup))),
+        );
+        sim.add_app(
+            1,
+            Box::new(Bsg::new(BsgConfig::new(3, 4096).with_warmup(spec.warmup))),
+        );
         sim.add_app(
             2,
             Box::new(Bsg::new(
-                BsgConfig::new(3, 512).with_batch(8).with_warmup(spec.warmup),
+                BsgConfig::new(3, 512)
+                    .with_batch(8)
+                    .with_warmup(spec.warmup),
             )),
         );
         sim.add_app(3, Box::new(Sink::new()));

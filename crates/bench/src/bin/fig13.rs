@@ -3,11 +3,8 @@
 use rperf_bench::{figures, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::quick()
-    } else {
-        Effort::full()
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = Effort::from_args(&args);
     println!("{}", figures::fig13(&effort).to_markdown());
     println!("  (setup 0: BSG 1 is the pretend LSG on the latency SL)");
 }

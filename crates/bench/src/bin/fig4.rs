@@ -3,10 +3,7 @@
 use rperf_bench::{figures, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::quick()
-    } else {
-        Effort::full()
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = Effort::from_args(&args);
     println!("{}", figures::fig4(&effort).to_markdown());
 }

@@ -3,11 +3,8 @@
 use rperf_bench::{figures, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::quick()
-    } else {
-        Effort::full()
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = Effort::from_args(&args);
     let (a, b) = figures::fig7(&effort);
     println!("{}", a.to_markdown());
     println!("{}", b.to_markdown());

@@ -3,11 +3,8 @@
 use rperf_bench::{figures, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::quick()
-    } else {
-        Effort::full()
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = Effort::from_args(&args);
     let (fig8, _) = figures::fig8_fig9(&effort);
     println!("{}", fig8.to_markdown());
 }

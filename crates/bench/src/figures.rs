@@ -1,4 +1,12 @@
 //! One generator per paper figure.
+//!
+//! Every figure is a sweep of independent `(point, seed)` simulations,
+//! expressed through [`sweep_over_seeds`]: the figure supplies a closure
+//! that builds and runs the scenario for one `(param, seed)` pair plus a
+//! merge that folds the per-seed results into one plotted point. The
+//! sweep fans the pairs across `effort.jobs` worker threads and hands the
+//! merge its results in seed order, so the emitted series are bit-identical
+//! to a serial run for any worker count.
 
 use rperf::scenario::{
     converged, multihop, one_to_one_bandwidth, one_to_one_perftest, one_to_one_qperf,
@@ -8,7 +16,7 @@ use rperf_model::config::SchedPolicy;
 use rperf_model::ClusterConfig;
 use rperf_stats::{Figure, Series};
 
-use crate::Effort;
+use crate::{mean, sweep_over_seeds, Effort};
 
 /// The payload sweep used throughout the paper: 64 B – 4096 B.
 pub const PAYLOADS: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
@@ -32,29 +40,39 @@ pub fn fig4(effort: &Effort) -> Figure {
     let mut s999_no = Series::new("99.9th (w/o switch)");
     let mut s50_sw = Series::new("50th (w/ switch)");
     let mut s999_sw = Series::new("99.9th (w/ switch)");
-    for &payload in &PAYLOADS {
+
+    let params: Vec<(u64, bool)> = PAYLOADS
+        .iter()
+        .flat_map(|&p| [(p, false), (p, true)])
+        .collect();
+    let points = sweep_over_seeds(
+        effort,
+        &params,
+        |&(payload, through), seed| {
+            let summary = one_to_one_rperf(
+                &spec(effort, ClusterConfig::hardware(), 8.0, seed),
+                through,
+                payload,
+            )
+            .summary;
+            (summary.p50_ns(), summary.p999_ns())
+        },
+        |&(payload, through), per_seed| {
+            let (p50s, p999s): (Vec<f64>, Vec<f64>) = per_seed.into_iter().unzip();
+            (payload, through, mean(&p50s), mean(&p999s))
+        },
+    );
+    for (payload, through, p50, p999) in points {
         let x = payload as f64;
-        for (through, s50, s999) in [
-            (false, &mut s50_no, &mut s999_no),
-            (true, &mut s50_sw, &mut s999_sw),
-        ] {
-            let mut p50_sum = 0.0;
-            let mut p999_sum = 0.0;
-            for &seed in &effort.seeds {
-                let summary = one_to_one_rperf(
-                    &spec(effort, ClusterConfig::hardware(), 8.0, seed),
-                    through,
-                    payload,
-                )
-                .summary;
-                p50_sum += summary.p50_ns();
-                p999_sum += summary.p999_ns();
-            }
-            let k = effort.seeds.len() as f64;
-            s50.push(x, p50_sum / k);
-            s999.push(x, p999_sum / k);
-        }
+        let (s50, s999) = if through {
+            (&mut s50_sw, &mut s999_sw)
+        } else {
+            (&mut s50_no, &mut s999_no)
+        };
+        s50.push(x, p50);
+        s999.push(x, p999);
     }
+
     fig.add_series(s50_no);
     fig.add_series(s999_no);
     fig.add_series(s50_sw);
@@ -73,29 +91,28 @@ pub fn fig5(effort: &Effort) -> Figure {
     );
     let mut no_sw = Series::new("w/o switch");
     let mut with_sw = Series::new("w/ switch");
-    for &payload in &PAYLOADS {
-        let x = payload as f64;
-        no_sw.push(
-            x,
-            effort.average(|seed| {
-                one_to_one_bandwidth(
-                    &spec(effort, ClusterConfig::hardware(), 4.0, seed),
-                    false,
-                    payload,
-                )
-            }),
-        );
-        with_sw.push(
-            x,
-            effort.average(|seed| {
-                one_to_one_bandwidth(
-                    &spec(effort, ClusterConfig::hardware(), 4.0, seed),
-                    true,
-                    payload,
-                )
-            }),
-        );
+
+    let params: Vec<(u64, bool)> = PAYLOADS
+        .iter()
+        .flat_map(|&p| [(p, false), (p, true)])
+        .collect();
+    let points = sweep_over_seeds(
+        effort,
+        &params,
+        |&(payload, through), seed| {
+            one_to_one_bandwidth(
+                &spec(effort, ClusterConfig::hardware(), 4.0, seed),
+                through,
+                payload,
+            )
+        },
+        |&(payload, through), gbps| (payload, through, mean(&gbps)),
+    );
+    for (payload, through, gbps) in points {
+        let series = if through { &mut with_sw } else { &mut no_sw };
+        series.push(payload as f64, gbps);
     }
+
     fig.add_series(no_sw);
     fig.add_series(with_sw);
     fig
@@ -113,31 +130,77 @@ pub fn fig6(effort: &Effort) -> Figure {
     let mut pf50 = Series::new("50th (Perftest)");
     let mut pf999 = Series::new("99.9th (Perftest)");
     let mut qp50 = Series::new("50th (Qperf)");
-    for &payload in &PAYLOADS {
+
+    let points = sweep_over_seeds(
+        effort,
+        &PAYLOADS,
+        |&payload, seed| {
+            let s = spec(effort, ClusterConfig::hardware(), 8.0, seed);
+            let pf = one_to_one_perftest(&s, payload);
+            let qp = one_to_one_qperf(&s, payload);
+            (pf.p50_us(), pf.p999_us(), qp.avg_us)
+        },
+        |&payload, per_seed| {
+            let n = per_seed.len();
+            let mut p50s = Vec::with_capacity(n);
+            let mut p999s = Vec::with_capacity(n);
+            let mut avgs = Vec::with_capacity(n);
+            for (a, b, c) in per_seed {
+                p50s.push(a);
+                p999s.push(b);
+                avgs.push(c);
+            }
+            (payload, mean(&p50s), mean(&p999s), mean(&avgs))
+        },
+    );
+    for (payload, p50, p999, avg) in points {
         let x = payload as f64;
-        let mut pf50_sum = 0.0;
-        let mut pf999_sum = 0.0;
-        for &seed in &effort.seeds {
-            let summary =
-                one_to_one_perftest(&spec(effort, ClusterConfig::hardware(), 8.0, seed), payload);
-            pf50_sum += summary.p50_us();
-            pf999_sum += summary.p999_us();
-        }
-        let k = effort.seeds.len() as f64;
-        pf50.push(x, pf50_sum / k);
-        pf999.push(x, pf999_sum / k);
-        qp50.push(
-            x,
-            effort.average(|seed| {
-                one_to_one_qperf(&spec(effort, ClusterConfig::hardware(), 8.0, seed), payload)
-                    .avg_us
-            }),
-        );
+        pf50.push(x, p50);
+        pf999.push(x, p999);
+        qp50.push(x, avg);
     }
+
     fig.add_series(pf50);
     fig.add_series(pf999);
     fig.add_series(qp50);
     fig
+}
+
+/// The per-seed result of one converged-traffic run, as the LSG-centric
+/// figures consume it.
+struct ConvergedPoint {
+    p50_us: f64,
+    p999_us: f64,
+    total_gbps: f64,
+}
+
+fn converged_point(
+    spec: &RunSpec,
+    n_bsgs: usize,
+    payload: u64,
+    batch: usize,
+    qos: QosMode,
+) -> ConvergedPoint {
+    let out = converged(spec, n_bsgs, payload, batch, true, qos);
+    let lsg = out.lsg.expect("LSG present").summary;
+    ConvergedPoint {
+        p50_us: lsg.p50_us(),
+        p999_us: lsg.p999_us(),
+        total_gbps: out.total_gbps,
+    }
+}
+
+fn merge_converged(per_seed: Vec<ConvergedPoint>) -> (f64, f64, f64) {
+    let n = per_seed.len();
+    let mut p50s = Vec::with_capacity(n);
+    let mut p999s = Vec::with_capacity(n);
+    let mut bws = Vec::with_capacity(n);
+    for p in per_seed {
+        p50s.push(p.p50_us);
+        p999s.push(p.p999_us);
+        bws.push(p.total_gbps);
+    }
+    (mean(&p50s), mean(&p999s), mean(&bws))
 }
 
 /// Figs. 7a and 7b — converged traffic on the hardware profile: LSG RTT
@@ -158,31 +221,30 @@ pub fn fig7(effort: &Effort) -> (Figure, Figure) {
     let mut s50 = Series::new("50th");
     let mut s999 = Series::new("99.9th");
     let mut total = Series::new("total");
-    for n in 0..=5usize {
-        let mut p50_sum = 0.0;
-        let mut p999_sum = 0.0;
-        let mut bw_sum = 0.0;
-        for &seed in &effort.seeds {
-            let out = converged(
+
+    let params: Vec<usize> = (0..=5).collect();
+    let points = sweep_over_seeds(
+        effort,
+        &params,
+        |&n, seed| {
+            converged_point(
                 &spec(effort, ClusterConfig::hardware(), 40.0, seed),
                 n,
                 4096,
                 1,
-                true,
                 QosMode::SharedSl,
-            );
-            let lsg = out.lsg.expect("LSG present").summary;
-            p50_sum += lsg.p50_us();
-            p999_sum += lsg.p999_us();
-            bw_sum += out.total_gbps;
-        }
-        let k = effort.seeds.len() as f64;
-        s50.push(n as f64, p50_sum / k);
-        s999.push(n as f64, p999_sum / k);
+            )
+        },
+        |&n, per_seed| (n, merge_converged(per_seed)),
+    );
+    for (n, (p50, p999, bw)) in points {
+        s50.push(n as f64, p50);
+        s999.push(n as f64, p999);
         if n >= 1 {
-            total.push(n as f64, bw_sum / k);
+            total.push(n as f64, bw);
         }
     }
+
     fig_a.add_series(s50);
     fig_a.add_series(s999);
     fig_b.add_series(total);
@@ -207,32 +269,30 @@ pub fn fig8_fig9(effort: &Effort) -> (Figure, Figure) {
     let mut s50 = Series::new("50th");
     let mut s999 = Series::new("99.9th");
     let mut total = Series::new("total");
-    for &payload in &PAYLOADS {
-        // "We also use batching with small payload sizes to improve the
-        // bandwidth utilization."
-        let batch = if payload <= 1024 { 16 } else { 1 };
-        let mut p50_sum = 0.0;
-        let mut p999_sum = 0.0;
-        let mut bw_sum = 0.0;
-        for &seed in &effort.seeds {
-            let out = converged(
+
+    let points = sweep_over_seeds(
+        effort,
+        &PAYLOADS,
+        |&payload, seed| {
+            // "We also use batching with small payload sizes to improve the
+            // bandwidth utilization."
+            let batch = if payload <= 1024 { 16 } else { 1 };
+            converged_point(
                 &spec(effort, ClusterConfig::hardware(), 15.0, seed),
                 5,
                 payload,
                 batch,
-                true,
                 QosMode::SharedSl,
-            );
-            let lsg = out.lsg.expect("LSG present").summary;
-            p50_sum += lsg.p50_us();
-            p999_sum += lsg.p999_us();
-            bw_sum += out.total_gbps;
-        }
-        let k = effort.seeds.len() as f64;
-        s50.push(payload as f64, p50_sum / k);
-        s999.push(payload as f64, p999_sum / k);
-        total.push(payload as f64, bw_sum / k);
+            )
+        },
+        |&payload, per_seed| (payload, merge_converged(per_seed)),
+    );
+    for (payload, (p50, p999, bw)) in points {
+        s50.push(payload as f64, p50);
+        s999.push(payload as f64, p999);
+        total.push(payload as f64, bw);
     }
+
     fig8.add_series(s50);
     fig8.add_series(s999);
     fig9.add_series(total);
@@ -256,27 +316,28 @@ pub fn fig10(effort: &Effort) -> Figure {
         };
         let mut s50 = Series::new(format!("50th ({name})"));
         let mut s999 = Series::new(format!("99.9th ({name})"));
-        for n in 0..=5usize {
-            let mut p50_sum = 0.0;
-            let mut p999_sum = 0.0;
-            for &seed in &effort.seeds {
+
+        let params: Vec<usize> = (0..=5).collect();
+        let points = sweep_over_seeds(
+            effort,
+            &params,
+            |&n, seed| {
                 let cfg = ClusterConfig::omnet_simulator().with_policy(policy);
-                let out = converged(
+                converged_point(
                     &spec(effort, cfg, 40.0, seed),
                     n,
                     4096,
                     1,
-                    true,
                     QosMode::SharedSl,
-                );
-                let lsg = out.lsg.expect("LSG present").summary;
-                p50_sum += lsg.p50_us();
-                p999_sum += lsg.p999_us();
-            }
-            let k = effort.seeds.len() as f64;
-            s50.push(n as f64, p50_sum / k);
-            s999.push(n as f64, p999_sum / k);
+                )
+            },
+            |&n, per_seed| (n, merge_converged(per_seed)),
+        );
+        for (n, (p50, p999, _)) in points {
+            s50.push(n as f64, p50);
+            s999.push(n as f64, p999);
         }
+
         fig.add_series(s50);
         fig.add_series(s999);
     }
@@ -293,20 +354,27 @@ pub fn fig11(effort: &Effort) -> Figure {
     );
     let mut s50 = Series::new("50th");
     let mut s999 = Series::new("99.9th");
-    for (x, policy) in [(0.0, SchedPolicy::Fcfs), (1.0, SchedPolicy::RoundRobin)] {
-        let mut p50_sum = 0.0;
-        let mut p999_sum = 0.0;
-        for &seed in &effort.seeds {
+
+    let params = [(0.0, SchedPolicy::Fcfs), (1.0, SchedPolicy::RoundRobin)];
+    let points = sweep_over_seeds(
+        effort,
+        &params,
+        |&(_, policy), seed| {
             let cfg = ClusterConfig::omnet_simulator();
             let out = multihop(&spec(effort, cfg, 40.0, seed), policy);
             let lsg = out.lsg.expect("LSG present").summary;
-            p50_sum += lsg.p50_us();
-            p999_sum += lsg.p999_us();
-        }
-        let k = effort.seeds.len() as f64;
-        s50.push(x, p50_sum / k);
-        s999.push(x, p999_sum / k);
+            (lsg.p50_us(), lsg.p999_us())
+        },
+        |&(x, _), per_seed| {
+            let (p50s, p999s): (Vec<f64>, Vec<f64>) = per_seed.into_iter().unzip();
+            (x, mean(&p50s), mean(&p999s))
+        },
+    );
+    for (x, p50, p999) in points {
+        s50.push(x, p50);
+        s999.push(x, p999);
     }
+
     fig.add_series(s50);
     fig.add_series(s999);
     fig
@@ -337,33 +405,33 @@ pub fn fig12(effort: &Effort) -> Figure {
         (5, QosMode::DedicatedSl),
         (5, QosMode::DedicatedSlWithPretend),
     ];
-    for (x, (n_bsgs, qos)) in setups.into_iter().enumerate() {
-        // The gaming experiment keeps five sources total: four honest
-        // BSGs plus the pretend LSG.
-        let honest = if qos == QosMode::DedicatedSlWithPretend {
-            4
-        } else {
-            n_bsgs
-        };
-        let mut p50_sum = 0.0;
-        let mut p999_sum = 0.0;
-        for &seed in &effort.seeds {
-            let out = converged(
+
+    let points = sweep_over_seeds(
+        effort,
+        &setups,
+        |&(n_bsgs, qos), seed| {
+            // The gaming experiment keeps five sources total: four honest
+            // BSGs plus the pretend LSG.
+            let honest = if qos == QosMode::DedicatedSlWithPretend {
+                4
+            } else {
+                n_bsgs
+            };
+            converged_point(
                 &spec(effort, ClusterConfig::hardware(), 30.0, seed),
                 honest,
                 4096,
                 1,
-                true,
                 qos,
-            );
-            let lsg = out.lsg.expect("LSG present").summary;
-            p50_sum += lsg.p50_us();
-            p999_sum += lsg.p999_us();
-        }
-        let k = effort.seeds.len() as f64;
-        s50.push(x as f64, p50_sum / k);
-        s999.push(x as f64, p999_sum / k);
+            )
+        },
+        |_, per_seed| merge_converged(per_seed),
+    );
+    for (x, (p50, p999, _)) in points.into_iter().enumerate() {
+        s50.push(x as f64, p50);
+        s999.push(x as f64, p999);
     }
+
     fig.add_series(s50);
     fig.add_series(s999);
     fig
@@ -378,61 +446,64 @@ pub fn fig13(effort: &Effort) -> Figure {
         "Setup (0 = Dedicated SL + Pretend LSG, 1 = Shared SL)",
         "Bandwidth (Gbps)",
     );
-    let mut series: Vec<Series> = (1..=5)
-        .map(|i| Series::new(format!("BSG {i}")))
-        .collect();
+    let mut series: Vec<Series> = (1..=5).map(|i| Series::new(format!("BSG {i}"))).collect();
     let mut total = Series::new("total");
 
-    // Setup 0: 4 honest BSGs + the pretend LSG (reported as "BSG 1", the
-    // paper's convention of listing the gamer first).
-    {
-        let mut shares = [0.0f64; 5];
-        let mut tot = 0.0;
-        for &seed in &effort.seeds {
+    // x = 0: 4 honest BSGs + the pretend LSG (reported as "BSG 1", the
+    // paper's convention of listing the gamer first). x = 1: five honest
+    // BSGs sharing SL0.
+    let setups = [
+        (0.0, QosMode::DedicatedSlWithPretend),
+        (1.0, QosMode::SharedSl),
+    ];
+    let points = sweep_over_seeds(
+        effort,
+        &setups,
+        |&(_, qos), seed| {
+            let gaming = qos == QosMode::DedicatedSlWithPretend;
+            let n_bsgs = if gaming { 4 } else { 5 };
             let out = converged(
                 &spec(effort, ClusterConfig::hardware(), 30.0, seed),
-                4,
+                n_bsgs,
                 4096,
                 1,
                 true,
-                QosMode::DedicatedSlWithPretend,
+                qos,
             );
-            shares[0] += out.pretend_gbps.expect("gaming run");
-            for (i, g) in out.per_bsg_gbps.iter().enumerate() {
-                shares[i + 1] += g;
+            let mut shares = [0.0f64; 5];
+            if gaming {
+                shares[0] = out.pretend_gbps.expect("gaming run");
+                for (i, &g) in out.per_bsg_gbps.iter().enumerate() {
+                    shares[i + 1] = g;
+                }
+            } else {
+                for (i, &g) in out.per_bsg_gbps.iter().enumerate() {
+                    shares[i] = g;
+                }
             }
-            tot += out.total_gbps;
-        }
-        let k = effort.seeds.len() as f64;
-        for (i, s) in shares.iter().enumerate() {
-            series[i].push(0.0, s / k);
-        }
-        total.push(0.0, tot / k);
-    }
-
-    // Setup 1: five honest BSGs sharing SL0.
-    {
-        let mut shares = [0.0f64; 5];
-        let mut tot = 0.0;
-        for &seed in &effort.seeds {
-            let out = converged(
-                &spec(effort, ClusterConfig::hardware(), 30.0, seed),
-                5,
-                4096,
-                1,
-                true,
-                QosMode::SharedSl,
-            );
-            for (i, g) in out.per_bsg_gbps.iter().enumerate() {
-                shares[i] += g;
+            (shares, out.total_gbps)
+        },
+        |&(x, _), per_seed| {
+            let k = per_seed.len() as f64;
+            let mut shares = [0.0f64; 5];
+            let mut tot = 0.0;
+            for (s, t) in per_seed {
+                for (acc, v) in shares.iter_mut().zip(s) {
+                    *acc += v;
+                }
+                tot += t;
             }
-            tot += out.total_gbps;
+            for acc in &mut shares {
+                *acc /= k;
+            }
+            (x, shares, tot / k)
+        },
+    );
+    for (x, shares, tot) in points {
+        for (s, v) in series.iter_mut().zip(shares) {
+            s.push(x, v);
         }
-        let k = effort.seeds.len() as f64;
-        for (i, s) in shares.iter().enumerate() {
-            series[i].push(1.0, s / k);
-        }
-        total.push(1.0, tot / k);
+        total.push(x, tot);
     }
 
     for s in series {
@@ -450,6 +521,7 @@ mod tests {
         Effort {
             seeds: vec![1],
             scale: 0.05,
+            jobs: 1,
         }
     }
 

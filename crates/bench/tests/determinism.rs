@@ -1,0 +1,50 @@
+//! Regression test for the parallel sweep runner: fanning `(point, seed)`
+//! simulations across worker threads must not change a single output bit.
+//!
+//! Runs the converged-traffic sweep of Fig. 7 — the heaviest multi-app
+//! scenario in the suite — serially and with four workers, and compares
+//! the serialized figures byte for byte.
+
+use rperf_bench::{figures, Effort};
+
+fn tiny(jobs: usize) -> Effort {
+    Effort {
+        seeds: vec![1, 2],
+        scale: 0.05,
+        jobs,
+    }
+}
+
+#[test]
+fn converged_sweep_is_byte_identical_across_worker_counts() {
+    let (serial_a, serial_b) = figures::fig7(&tiny(1));
+    let (par_a, par_b) = figures::fig7(&tiny(4));
+    assert_eq!(
+        serial_a.to_json(),
+        par_a.to_json(),
+        "fig7a diverged between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        serial_b.to_json(),
+        par_b.to_json(),
+        "fig7b diverged between --jobs 1 and --jobs 4"
+    );
+    // Sanity: the comparison is over real content, not two empty figures.
+    assert!(serial_a.to_json().contains("\"fig7a\""));
+    assert!(!serial_a.series.is_empty() && !serial_a.series[0].x.is_empty());
+}
+
+#[test]
+fn one_to_one_sweep_is_byte_identical_across_worker_counts() {
+    let effort = Effort {
+        seeds: vec![1],
+        scale: 0.03,
+        jobs: 1,
+    };
+    let serial = figures::fig5(&effort).to_json();
+    let parallel = figures::fig5(&effort.clone().with_jobs(3)).to_json();
+    assert_eq!(
+        serial, parallel,
+        "fig5 diverged between --jobs 1 and --jobs 3"
+    );
+}

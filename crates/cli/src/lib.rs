@@ -101,8 +101,29 @@ pub enum Command {
         /// Common options.
         common: Common,
     },
+    /// A payload sweep (64 B – 4096 B) averaged over seeds, fanned across
+    /// worker threads.
+    Sweep {
+        /// What to measure at each payload.
+        what: SweepWhat,
+        /// Skip the switch.
+        no_switch: bool,
+        /// Number of seeds to average (seeded `seed`, `seed+1`, ...).
+        seeds: u64,
+        /// Common options.
+        common: Common,
+    },
     /// Print usage.
     Help,
+}
+
+/// The metric a `sweep` measures at each payload point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepWhat {
+    /// RPerf RTT p50 (µs).
+    Lat,
+    /// One-to-one goodput (Gbps).
+    Bw,
 }
 
 /// Options shared by every command.
@@ -116,6 +137,10 @@ pub struct Common {
     pub profile: Profile,
     /// Scheduling policy (where applicable).
     pub policy: SchedPolicy,
+    /// Worker threads for sweeps (`--jobs`; 0 = available parallelism).
+    /// Output is identical for any value — independent simulations are
+    /// fanned out and collected in deterministic order.
+    pub jobs: usize,
 }
 
 impl Default for Common {
@@ -125,6 +150,19 @@ impl Default for Common {
             seed: 1,
             profile: Profile::Hardware,
             policy: SchedPolicy::Fcfs,
+            jobs: 0,
+        }
+    }
+}
+
+impl Common {
+    /// The effective worker-thread count (`--jobs`, defaulting to the
+    /// machine's available parallelism).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            rperf_runner::available_parallelism()
+        } else {
+            self.jobs
         }
     }
 }
@@ -155,6 +193,7 @@ COMMANDS:
                                        [--qos shared|dedicated|gamed]
     multihop   two-switch topology     [--policy fcfs|rr|fair]
     chain      switch-chain extension  [--switches N] [--bsgs N]
+    sweep      payload sweep 64B-4096B [--what lat|bw] [--no-switch] [--seeds N]
     help       this text
 
 COMMON OPTIONS:
@@ -162,6 +201,8 @@ COMMON OPTIONS:
     --seed N          experiment seed (default 1)
     --profile hw|omnet
     --policy fcfs|rr|fair
+    --jobs N          worker threads for sweeps (default: all cores;
+                      any value gives identical output)
 ";
 
 fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, ParseError> {
@@ -192,6 +233,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut batch = 1usize;
     let mut qos = QosMode::SharedSl;
     let mut switches = 2usize;
+    let mut what = SweepWhat::Lat;
+    let mut seeds = 3u64;
     let mut common = Common::default();
 
     let mut i = 1;
@@ -243,6 +286,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             "--switches" => {
                 switches = parse_u64(flag, value)?.max(1) as usize;
+                i += 2;
+            }
+            "--what" => {
+                what = match value.map(String::as_str) {
+                    Some("lat") => SweepWhat::Lat,
+                    Some("bw") => SweepWhat::Bw,
+                    other => {
+                        return Err(ParseError(format!(
+                            "--what: expected lat|bw, got {other:?}"
+                        )))
+                    }
+                };
+                i += 2;
+            }
+            "--seeds" => {
+                seeds = parse_u64(flag, value)?.max(1);
+                i += 2;
+            }
+            "--jobs" => {
+                common.jobs = parse_u64(flag, value)? as usize;
                 i += 2;
             }
             "--duration" => {
@@ -310,6 +373,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "chain" => Command::Chain {
             switches,
             bsgs: if bsgs == 5 { 0 } else { bsgs },
+            common,
+        },
+        "sweep" => Command::Sweep {
+            what,
+            no_switch,
+            seeds,
             common,
         },
         "help" | "--help" | "-h" => Command::Help,
@@ -447,6 +516,48 @@ pub fn execute(cmd: &Command) -> String {
                 r.iterations,
             )
         }
+        Command::Sweep {
+            what,
+            no_switch,
+            seeds,
+            common,
+        } => {
+            const PAYLOADS: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+            let pairs: Vec<(u64, u64)> = PAYLOADS
+                .iter()
+                .flat_map(|&p| (0..*seeds).map(move |k| (p, common.seed + k)))
+                .collect();
+            let runner = rperf_runner::Sweep::new(common.effective_jobs());
+            let per_pair = runner.run(pairs, |_, (payload, seed)| {
+                let spec = spec_of(&Common {
+                    seed,
+                    ..common.clone()
+                });
+                match what {
+                    SweepWhat::Lat => one_to_one_rperf(&spec, !no_switch, payload)
+                        .summary
+                        .p50_us(),
+                    SweepWhat::Bw => one_to_one_bandwidth(&spec, !no_switch, payload),
+                }
+            });
+            let (label, unit) = match what {
+                SweepWhat::Lat => ("RTT p50", "us"),
+                SweepWhat::Bw => ("goodput", "Gbps"),
+            };
+            let mut text = format!(
+                "sweep  what={what:?}  switch={}  seeds={seeds}  jobs={}\n\
+                 | payload (B) | {label} ({unit}) |\n|---|---|",
+                !no_switch,
+                runner.workers(),
+            );
+            let k = *seeds as usize;
+            for (i, &payload) in PAYLOADS.iter().enumerate() {
+                let chunk = &per_pair[i * k..(i + 1) * k];
+                let avg = chunk.iter().sum::<f64>() / k as f64;
+                text.push_str(&format!("\n| {payload} | {avg:.3} |"));
+            }
+            text
+        }
     }
 }
 
@@ -545,6 +656,55 @@ mod tests {
         let cmd = parse(&args("bw --payload 4096 --duration 1 --no-switch")).unwrap();
         let out = execute(&cmd);
         assert!(out.contains("goodput"), "{out}");
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        let cmd = parse(&args("sweep --what bw --no-switch --seeds 2 --jobs 4")).unwrap();
+        match cmd {
+            Command::Sweep {
+                what,
+                no_switch,
+                seeds,
+                common,
+            } => {
+                assert_eq!(what, SweepWhat::Bw);
+                assert!(no_switch);
+                assert_eq!(seeds, 2);
+                assert_eq!(common.jobs, 4);
+                assert_eq!(common.effective_jobs(), 4);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: lat, 3 seeds, jobs = available parallelism.
+        let cmd = parse(&args("sweep")).unwrap();
+        match cmd {
+            Command::Sweep {
+                what,
+                seeds,
+                common,
+                ..
+            } => {
+                assert_eq!(what, SweepWhat::Lat);
+                assert_eq!(seeds, 3);
+                assert!(common.effective_jobs() >= 1);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&args("sweep --what iops")).is_err());
+    }
+
+    #[test]
+    fn sweep_output_is_identical_for_any_job_count() {
+        let serial =
+            execute(&parse(&args("sweep --what bw --seeds 1 --duration 1 --jobs 1")).unwrap());
+        let parallel =
+            execute(&parse(&args("sweep --what bw --seeds 1 --duration 1 --jobs 4")).unwrap());
+        // The job count is echoed in the header; everything below it must
+        // match byte for byte.
+        let body = |s: &str| s.split_once('\n').unwrap().1.to_string();
+        assert_eq!(body(&serial), body(&parallel));
+        assert!(serial.contains("| 4096 |"), "{serial}");
     }
 
     #[test]

@@ -248,8 +248,11 @@ pub fn converged(
     let per_bsg_gbps: Vec<f64> = (0..n_bsgs)
         .map(|b| sim.app_as::<Bsg>(b).gbps_until(end.as_ps()))
         .collect();
-    let pretend_gbps =
-        pretend.then(|| sim.app_as::<PretendLsg>(pretend_idx).bsg().gbps_until(end.as_ps()));
+    let pretend_gbps = pretend.then(|| {
+        sim.app_as::<PretendLsg>(pretend_idx)
+            .bsg()
+            .gbps_until(end.as_ps())
+    });
     let lsg = with_lsg.then(|| sim.app_as::<RPerf>(lsg_idx).report());
     let total_gbps = per_bsg_gbps.iter().sum::<f64>() + pretend_gbps.unwrap_or(0.0);
 
@@ -312,11 +315,7 @@ pub fn multihop(spec: &RunSpec, policy: SchedPolicy) -> ConvergedOutcome {
 /// hop (each switch adds its pipeline + arbitration latency twice per
 /// round trip); with bulk traffic it shows that congestion at the last
 /// hop dominates regardless of path length.
-pub fn chain_latency(
-    spec: &RunSpec,
-    n_switches: usize,
-    bsgs_at_tail: usize,
-) -> RPerfReport {
+pub fn chain_latency(spec: &RunSpec, n_switches: usize, bsgs_at_tail: usize) -> RPerfReport {
     use rperf_subnet::TopologySpec;
     assert!(n_switches >= 1, "a chain needs at least one switch");
     let mut hosts = vec![0usize; n_switches];
@@ -366,7 +365,10 @@ mod tests {
         let l2 = two.lsg.unwrap().summary.p50_us();
         let l5 = five.lsg.unwrap().summary.p50_us();
         assert!(l0 < 1.0, "zero-load LSG should be sub-µs, got {l0:.2}");
-        assert!(l2 > l0 + 2.0, "2 BSGs must hurt the LSG: {l2:.2} vs {l0:.2}");
+        assert!(
+            l2 > l0 + 2.0,
+            "2 BSGs must hurt the LSG: {l2:.2} vs {l0:.2}"
+        );
         assert!(l5 > l2 + 5.0, "5 BSGs must hurt more: {l5:.2} vs {l2:.2}");
     }
 
@@ -405,8 +407,10 @@ mod tests {
         let long_loaded = chain_latency(&spec, 3, 3).summary.p50_us();
         // Both are dominated by the 3 tail BSGs' buffers, not the hops.
         assert!(short_loaded > 5.0);
-        assert!((long_loaded - short_loaded).abs() < 0.3 * short_loaded,
-            "short {short_loaded:.1} vs long {long_loaded:.1}");
+        assert!(
+            (long_loaded - short_loaded).abs() < 0.3 * short_loaded,
+            "short {short_loaded:.1} vs long {long_loaded:.1}"
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! A minimal micro-benchmark harness exposing the subset of the
+//! `criterion` crate's surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be vendored; this stand-in keeps the `benches/` files compiling
+//! and producing useful numbers. Per benchmark it runs a warm-up pass,
+//! then `sample_size` timed samples (each sample auto-scales its iteration
+//! count to last ≳ 10 ms), and prints min / median / mean sample times.
+//!
+//! There is no statistical regression machinery: treat the printed medians
+//! as the comparable figure between runs on the same machine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to each target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up + calibration: grow the per-sample iteration count until
+        // one sample costs at least ~10 ms (or we hit a cap).
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(10) || b.iters >= 1 << 20 {
+                break;
+            }
+            b.iters *= 2;
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed / b.iters as u32);
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "bench {name:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples × {} iters)",
+            min,
+            median,
+            mean,
+            samples.len(),
+            b.iters
+        );
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for this sample's iteration count, timing the whole batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark targets (`name`, optional `config`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            $(
+                let mut c: $crate::Criterion = $cfg;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $group;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+
+    #[test]
+    fn harness_runs_a_benchmark() {
+        let mut c = Criterion::default().sample_size(3);
+        tiny(&mut c);
+    }
+
+    criterion_group! {
+        name = group_smoke;
+        config = Criterion::default().sample_size(2);
+        targets = tiny
+    }
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        group_smoke();
+    }
+}

@@ -35,4 +35,4 @@ mod world;
 
 pub use topology::{Endpoint, Fabric, FabricBuilder};
 pub use trace::{TraceEvent, TraceRecord, Tracer};
-pub use world::{App, Ctx, FabricEvent, Sim};
+pub use world::{events_processed_total, App, Ctx, FabricEvent, Sim};

@@ -253,8 +253,7 @@ impl FabricBuilder {
                 )
             })
             .collect();
-        let mut switch_peer: Vec<Vec<Option<Endpoint>>> =
-            vec![vec![None; ports]; spec.switches()];
+        let mut switch_peer: Vec<Vec<Option<Endpoint>>> = vec![vec![None; ports]; spec.switches()];
         let mut rnic_peer = Vec::with_capacity(spec.hosts());
 
         // Program forwarding tables.
@@ -382,7 +381,10 @@ mod tests {
         assert_eq!(f.nodes(), 7);
         assert_eq!(f.switches_len(), 1);
         for i in 0..7 {
-            assert_eq!(f.rnic_peer[i], Endpoint::SwitchPort(0, PortId::new(i as u8)));
+            assert_eq!(
+                f.rnic_peer[i],
+                Endpoint::SwitchPort(0, PortId::new(i as u8))
+            );
             assert_eq!(f.switch_peer[0][i], Some(Endpoint::Rnic(i)));
         }
         assert_eq!(f.switch_peer[0][7], None);
@@ -394,8 +396,14 @@ mod tests {
         assert_eq!(f.nodes(), 7);
         assert_eq!(f.switches_len(), 2);
         let trunk = PortId::new(11);
-        assert_eq!(f.switch_peer[0][trunk.index()], Some(Endpoint::SwitchPort(1, trunk)));
-        assert_eq!(f.switch_peer[1][trunk.index()], Some(Endpoint::SwitchPort(0, trunk)));
+        assert_eq!(
+            f.switch_peer[0][trunk.index()],
+            Some(Endpoint::SwitchPort(1, trunk))
+        );
+        assert_eq!(
+            f.switch_peer[1][trunk.index()],
+            Some(Endpoint::SwitchPort(0, trunk))
+        );
         // Upstream node 0 is local to switch 0, remote to switch 1.
         assert_eq!(f.rnic_peer[0], Endpoint::SwitchPort(0, PortId::new(0)));
         // Downstream node 3 attaches to switch 1 port 0.

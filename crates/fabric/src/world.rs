@@ -1,6 +1,7 @@
 //! The event world: device event routing and the application layer.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rperf_host::{Tsc, TscClock};
 use rperf_model::{ClusterConfig, Lid, Packet, PortId, QpNum, Transport, VirtualLane};
@@ -142,7 +143,10 @@ impl<'a> Ctx<'a> {
     ///
     /// Propagates verbs validation errors.
     pub fn post_send(&mut self, qp: QpNum, wr: SendWr) -> Result<(), VerbsError> {
-        let actions = self.fabric.rnic_mut(self.node).post_send(self.now, qp, wr)?;
+        let actions = self
+            .fabric
+            .rnic_mut(self.node)
+            .post_send(self.now, qp, wr)?;
         apply_rnic_actions(self.fabric, self.q, self.node, self.now, actions);
         Ok(())
     }
@@ -219,10 +223,9 @@ fn apply_rnic_actions(
                     },
                 ),
             },
-            RnicAction::Complete { cqe } => q.schedule(
-                cqe.visible_at.max(now),
-                FabricEvent::AppCqe { node, cqe },
-            ),
+            RnicAction::Complete { cqe } => {
+                q.schedule(cqe.visible_at.max(now), FabricEvent::AppCqe { node, cqe })
+            }
         }
     }
 }
@@ -262,10 +265,9 @@ fn apply_switch_actions(
             },
             SwitchAction::ReturnCredit { ingress, vl, bytes } => {
                 match fabric.switch_peer[switch][ingress.index()] {
-                    Some(Endpoint::Rnic(j)) => q.schedule(
-                        now + prop,
-                        FabricEvent::RnicCredit { node: j, vl, bytes },
-                    ),
+                    Some(Endpoint::Rnic(j)) => {
+                        q.schedule(now + prop, FabricEvent::RnicCredit { node: j, vl, bytes })
+                    }
                     Some(Endpoint::SwitchPort(s2, p2)) => q.schedule(
                         now + prop,
                         FabricEvent::SwitchCredit {
@@ -295,7 +297,11 @@ impl World for WorldState {
     fn handle(&mut self, now: SimTime, event: FabricEvent, q: &mut EventQueue<FabricEvent>) {
         if let Some(tracer) = &mut self.tracer {
             match &event {
-                FabricEvent::SwitchPacket { switch, ingress, packet } => tracer.record(
+                FabricEvent::SwitchPacket {
+                    switch,
+                    ingress,
+                    packet,
+                } => tracer.record(
                     now,
                     TraceEvent::SwitchIngress {
                         switch: *switch,
@@ -368,13 +374,8 @@ impl World for WorldState {
 }
 
 impl WorldState {
-    fn with_app<F>(
-        &mut self,
-        node: usize,
-        now: SimTime,
-        q: &mut EventQueue<FabricEvent>,
-        f: F,
-    ) where
+    fn with_app<F>(&mut self, node: usize, now: SimTime, q: &mut EventQueue<FabricEvent>, f: F)
+    where
         F: FnOnce(&mut dyn App, &mut Ctx<'_>),
     {
         let Some(mut app) = self.apps[node].take() else {
@@ -406,6 +407,22 @@ pub struct Sim {
     started: bool,
 }
 
+/// Process-wide count of events handled by every [`Sim`] on any thread.
+///
+/// Parallel sweeps (`rperf-runner`) run many `Sim`s concurrently; the
+/// relaxed atomic adds commute, so the total is deterministic even though
+/// the interleaving is not. The bench report divides this by wall-clock
+/// to track simulator throughput (events/sec) per figure.
+static EVENTS_PROCESSED: AtomicU64 = AtomicU64::new(0);
+
+/// Total events processed by all simulations in this process so far.
+///
+/// Snapshot before and after a workload and subtract to attribute events
+/// to it (valid also when the workload runs on worker threads).
+pub fn events_processed_total() -> u64 {
+    EVENTS_PROCESSED.load(Ordering::Relaxed)
+}
+
 impl Sim {
     /// Wraps a fabric.
     pub fn new(fabric: Fabric) -> Self {
@@ -416,7 +433,10 @@ impl Sim {
                 apps: (0..nodes).map(|_| None).collect(),
                 tracer: None,
             },
-            q: EventQueue::new(),
+            // Pre-size the heap: converged-traffic runs keep on the order
+            // of a few hundred events in flight per node, and one up-front
+            // allocation keeps regrowth out of the pop/push hot loop.
+            q: EventQueue::with_capacity((nodes * 256).max(1024)),
             started: false,
         }
     }
@@ -454,12 +474,16 @@ impl Sim {
 
     /// Runs until the horizon (exclusive) or until the queue drains.
     pub fn run_until(&mut self, t: SimTime) {
+        let before = self.q.popped();
         run(&mut self.world, &mut self.q, StopCondition::At(t));
+        EVENTS_PROCESSED.fetch_add(self.q.popped() - before, Ordering::Relaxed);
     }
 
     /// Runs until the event queue drains completely.
     pub fn run_to_quiescence(&mut self) {
+        let before = self.q.popped();
         run(&mut self.world, &mut self.q, StopCondition::QueueEmpty);
+        EVENTS_PROCESSED.fetch_add(self.q.popped() - before, Ordering::Relaxed);
     }
 
     /// Current simulated time.
@@ -715,6 +739,9 @@ mod tests {
             gbps > expected * 0.85,
             "goodput {gbps:.1} Gbps too far below wire limit {expected:.1}"
         );
-        assert!(gbps <= expected * 1.02, "goodput {gbps:.1} above wire limit");
+        assert!(
+            gbps <= expected * 1.02,
+            "goodput {gbps:.1} above wire limit"
+        );
     }
 }

@@ -28,7 +28,8 @@ impl App for ScriptedSender {
             .enumerate()
             .map(|(i, &p)| {
                 self.sent_bytes += p;
-                SendWr::new(WrId(i as u64), Verb::Send, p).to(ctx.lid_of(self.target), QpNum::new(1))
+                SendWr::new(WrId(i as u64), Verb::Send, p)
+                    .to(ctx.lid_of(self.target), QpNum::new(1))
             })
             .collect();
         ctx.post_send_batch(qp, wrs).unwrap();
@@ -92,7 +93,13 @@ fn run_script(payloads: Vec<u64>, through_switch: bool, seed: u64) -> (Stamped, 
             qp: None,
         }),
     );
-    sim.add_app(1, Box::new(Collector { recvs: Vec::new(), bytes: 0 }));
+    sim.add_app(
+        1,
+        Box::new(Collector {
+            recvs: Vec::new(),
+            bytes: 0,
+        }),
+    );
     sim.start();
     sim.run_to_quiescence();
     let sender = sim.app_as::<ScriptedSender>(0);

@@ -79,7 +79,10 @@ mod tests {
     fn step_without_spikes_is_exact() {
         let mut sw = model(0.0);
         for _ in 0..100 {
-            assert_eq!(sw.step(SimDuration::from_ns(150)), SimDuration::from_ns(150));
+            assert_eq!(
+                sw.step(SimDuration::from_ns(150)),
+                SimDuration::from_ns(150)
+            );
         }
     }
 

@@ -24,17 +24,17 @@ use crate::units::LinkRate;
 /// assert!((w.as_us_f64() - 4.68).abs() < 0.01);
 /// ```
 pub fn fcfs_waiting_time(n_full_buffers: u32, buffer_bytes: u64, rate: LinkRate) -> SimDuration {
-    rate.serialize_time(buffer_bytes).times(n_full_buffers as u64)
+    rate.serialize_time(buffer_bytes)
+        .times(n_full_buffers as u64)
 }
 
 /// The wire-limited payload goodput for a given payload size: the fraction
 /// of the data rate left after per-packet header overhead.
 pub fn wire_limited_goodput_gbps(cfg: &ClusterConfig, payload: u64) -> f64 {
-    let oh = cfg.rnic.headers.data_overhead(
-        crate::wire::Verb::Send,
-        crate::wire::Transport::Rc,
-        true,
-    );
+    let oh =
+        cfg.rnic
+            .headers
+            .data_overhead(crate::wire::Verb::Send, crate::wire::Transport::Rc, true);
     let data_rate = cfg.link.data_rate().as_gbps();
     data_rate * payload as f64 / (payload + oh) as f64
 }
@@ -83,8 +83,8 @@ pub fn rperf_zero_load_rtt_estimate(
     rtt = rtt.saturating_sub(rnic.wqe_engine + rnic.tx_per_packet);
     rtt = rtt.saturating_sub(rnic.loopback_turnaround);
     if through_switch {
-        rtt += (cfg.switch.pipeline_latency + cfg.switch.arb_scan_per_port + cfg.link.propagation)
-            * 2;
+        rtt +=
+            (cfg.switch.pipeline_latency + cfg.switch.arb_scan_per_port + cfg.link.propagation) * 2;
     }
     rtt
 }

@@ -14,14 +14,13 @@
 //!   in the simulator").
 
 use rperf_sim::{SimDuration, SimRng};
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{ServiceLevel, VirtualLane};
 use crate::units::LinkRate;
 use crate::wire::HeaderModel;
 
 /// A physical link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Signaling rate (56 Gbps for 4×FDR).
     pub signaling_rate: LinkRate,
@@ -46,7 +45,7 @@ impl LinkConfig {
 /// Used for the switch arbitration/µarch jitter (zero-load tail ≈
 /// median + 200 ns in Fig. 4) and for RNIC engine variability (the
 /// ≤ 30 ns back-to-back tail).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JitterConfig {
     /// Upper bound of the uniform base component.
     pub base_max: SimDuration,
@@ -75,7 +74,7 @@ impl JitterConfig {
 
 /// Packet scheduling policy of a switch output arbiter (Section VIII-B of
 /// the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedPolicy {
     /// First Come, First Served: the oldest head-of-buffer packet (by
     /// arrival time at this switch) wins. The paper concludes the SX6012
@@ -98,7 +97,7 @@ pub enum SchedPolicy {
 
 /// A Service-Level → Virtual-Lane mapping table (one per port direction in
 /// real switches; one per device here).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sl2VlTable {
     map: [u8; 16],
 }
@@ -136,7 +135,7 @@ impl Sl2VlTable {
 /// One VL arbitration table entry: a VL and its weight in 64-byte units
 /// (IB spec semantics: the VL may transmit up to `weight × 64` bytes each
 /// time the entry is visited).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VlArbEntry {
     /// The virtual lane.
     pub vl: VirtualLane,
@@ -153,7 +152,7 @@ pub struct VlArbEntry {
 /// prevents complete starvation, and the knob whose side effects Section
 /// VIII-C of the paper probes ("imposing such a limit will hurt the latency
 /// of the LSG").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VlArbConfig {
     /// High-priority entries.
     pub high: Vec<VlArbEntry>,
@@ -204,7 +203,7 @@ impl VlArbConfig {
 }
 
 /// Switch device parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwitchConfig {
     /// Number of ports (SX6012: 12 QSFP ports).
     pub ports: u8,
@@ -237,7 +236,7 @@ pub struct SwitchConfig {
 }
 
 /// RNIC device parameters (ConnectX-4 class).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RnicConfig {
     /// Host → RNIC MMIO doorbell latency.
     pub mmio_post: SimDuration,
@@ -317,7 +316,7 @@ impl RnicConfig {
 }
 
 /// Host software/clock parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostConfig {
     /// TSC frequency (Xeon E5-2630 v4: 2.2 GHz base, constant-rate TSC).
     pub tsc_ghz: f64,
@@ -333,7 +332,7 @@ pub struct HostConfig {
 }
 
 /// The complete cluster parameter set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Link parameters.
     pub link: LinkConfig,
@@ -432,8 +431,7 @@ impl ClusterConfig {
     /// at high arbitration priority on both RNICs and switch; SL0 → VL0
     /// low priority.
     pub fn with_dedicated_sl(mut self) -> Self {
-        let table = Sl2VlTable::all_to_vl0()
-            .with(ServiceLevel::new(1), VirtualLane::new(1));
+        let table = Sl2VlTable::all_to_vl0().with(ServiceLevel::new(1), VirtualLane::new(1));
         self.switch.sl2vl = table;
         self.rnic.sl2vl = table;
         self.switch.vlarb = VlArbConfig::dedicated_high_vl1();

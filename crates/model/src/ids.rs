@@ -6,15 +6,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident($inner:ty), $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name($inner);
 
         impl $name {
@@ -107,9 +102,7 @@ id_type!(
 ///
 /// SLs are the application-visible priority abstraction; switches map them
 /// to virtual lanes via their SL2VL tables.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ServiceLevel(u8);
 
 impl ServiceLevel {
@@ -154,9 +147,7 @@ impl fmt::Display for ServiceLevel {
 ///
 /// The IB specification requires 2–16 VLs per port (the paper's switch
 /// exposes 9 data VLs).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtualLane(u8);
 
 impl VirtualLane {

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use rperf_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A link (or internal datapath) rate in bits per second.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// // One byte takes 8/56e9 s ≈ 142.9 ps:
 /// assert_eq!(r.serialize_time(1).as_ps(), 143);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkRate {
     bits_per_sec: u64,
 }

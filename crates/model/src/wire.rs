@@ -2,12 +2,11 @@
 //! unit that flows through the simulated fabric.
 
 use rperf_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{FlowId, Lid, MsgId, PacketId, QpNum, ServiceLevel};
 
 /// The RDMA operation type ("verb") of a message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Verb {
     /// Two-sided SEND: the remote host must have pre-posted a RECV.
     Send,
@@ -25,7 +24,7 @@ impl Verb {
 }
 
 /// The RDMA transport type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transport {
     /// Reliable Connection: acknowledged, supports all verbs.
     Rc,
@@ -77,7 +76,7 @@ pub mod header {
 /// // ACK: LRH+BTH+AETH+ICRC+VCRC plus link overhead.
 /// assert_eq!(h.ack_overhead(), 36);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeaderModel {
     /// Extra per-packet link-level bytes (symbol overhead, flow-control
     /// amortization expressed in byte-times).
@@ -112,17 +111,12 @@ impl HeaderModel {
 
     /// Overhead (= full wire size) of a READ request packet.
     pub fn read_request_overhead(&self) -> u64 {
-        header::LRH
-            + header::BTH
-            + header::RETH
-            + header::ICRC
-            + header::VCRC
-            + self.link_overhead
+        header::LRH + header::BTH + header::RETH + header::ICRC + header::VCRC + self.link_overhead
     }
 }
 
 /// What a packet is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// A data-bearing packet (SEND / WRITE payload, or READ response data).
     Data {
@@ -161,7 +155,7 @@ impl PacketKind {
 /// Packets are passive data (fields public): device models consume and
 /// produce them, and never share them — each packet has exactly one owner
 /// at any simulated instant, mirroring a real buffer occupancy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Packet {
     /// Unique packet id (for tracing).
     pub id: PacketId,

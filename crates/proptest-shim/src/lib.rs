@@ -1,0 +1,482 @@
+//! A minimal, fully deterministic property-testing harness exposing the
+//! subset of the `proptest` crate's surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `proptest`
+//! cannot be vendored; this in-workspace stand-in keeps the existing
+//! `proptest! { ... }` test files compiling and running unchanged. It
+//! supports:
+//!
+//! * `proptest! { #[test] fn f(x in 0u64..100, v in prop::collection::vec(..)) { .. } }`
+//! * `#![proptest_config(ProptestConfig::with_cases(n))]` as the first item
+//! * range strategies over the integer types and `f64` (half-open and
+//!   inclusive), tuples of strategies, `any::<T>()`,
+//!   `prop::collection::vec`, `prop::sample::select`, and `.prop_map`
+//! * `prop_assert!` / `prop_assert_eq!` (they panic like `assert!`)
+//! * bodies that `return Ok(())` / `return Err(TestCaseError::fail(..))`
+//!   (the body runs in a closure returning [`TestCaseResult`], as
+//!   upstream's does; `TestCaseError::Reject` skips the case)
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case prints
+//! its inputs via the assertion message only. Generation is seeded from
+//! the test's module path and name, so every run of a given test sees the
+//! same cases (reproducibility is a workspace-wide requirement; see
+//! DESIGN.md §6). Set `PROPTEST_CASES` to override the per-test case
+//! count (default 64).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Why a property case did not pass (upstream:
+/// `proptest::test_runner::TestCaseError`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed; the runner panics with this message.
+    Fail(String),
+    /// The input was rejected as uninteresting; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// What a property body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Upstream-compatible module path for the error types.
+pub mod test_runner {
+    pub use crate::{TestCaseError, TestCaseResult};
+}
+
+/// Runner configuration: how many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (overridden by `PROPTEST_CASES`).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generator's RNG: SplitMix64 (deterministic, dependency-free).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from an arbitrary byte string (the test's full name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(h)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Modulo bias is negligible for test-case generation.
+        self.next_u64() % n
+    }
+}
+
+/// A value generator. The associated `Value` mirrors the real crate so
+/// `impl Strategy<Value = T>` signatures keep compiling.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(width) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if width == 0 {
+                    // Full-domain u64 range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(width) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // next_f64 is in [0, 1); nudge the top so `hi` is reachable.
+        lo + rng.next_f64() * (hi - lo) * (1.0 + f64::EPSILON)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        rng.next_u64() as u16
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// The whole-domain strategy for `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — an arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A `Vec` whose length is drawn from `len` and whose elements are
+        /// drawn from `element`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.clone().sample(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, len_range)`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniform choice from a fixed set.
+        #[derive(Debug, Clone)]
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                assert!(!self.0.is_empty(), "select from an empty set");
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+
+        /// `prop::sample::select(vec![..])`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            Select(options)
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics with the case's inputs
+/// visible in the assertion message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::ProptestConfig::resolved_cases(&$cfg);
+                let mut __rng = $crate::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cases {
+                    $(let $p = $crate::Strategy::sample(&($s), &mut __rng);)+
+                    // The body runs in a closure returning `TestCaseResult`
+                    // so `return Ok(())` / `return Err(..)` work as they do
+                    // upstream; plain `()` bodies fall through to `Ok(())`.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome = (|| -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(__reason)) => panic!(
+                            "property `{}` failed at case {}: {}",
+                            stringify!($name),
+                            __case,
+                            __reason
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let mut c = TestRng::from_name("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(10u64..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let f = Strategy::sample(&(1.0f64..2.0), &mut rng);
+            assert!((1.0..2.0).contains(&f));
+            let g = Strategy::sample(&(0.0f64..=1.0), &mut rng);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn vec_and_select_and_map() {
+        let mut rng = TestRng::from_name("vecsel");
+        let s = prop::collection::vec(0u8..4, 2..6).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = Strategy::sample(&s, &mut rng);
+            assert!((2..6).contains(&n));
+            let pick = Strategy::sample(&prop::sample::select(vec!["a", "b"]), &mut rng);
+            assert!(pick == "a" || pick == "b");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: tuple patterns, multiple args, any::<T>().
+        #[test]
+        fn macro_roundtrip((a, b) in (0u32..10, 0u32..10), flip in any::<bool>()) {
+            prop_assert!(a < 10 && b < 10);
+            let _ = flip;
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        /// Bodies may early-return `TestCaseResult`s, as upstream allows:
+        /// `Ok` passes, `Reject` skips, and the fall-through is `Ok(())`.
+        #[test]
+        fn result_bodies_work(x in 0u32..10) {
+            if x > 100 {
+                return Err(TestCaseError::fail("unreachable"));
+            }
+            if x == 3 {
+                return Err(TestCaseError::reject("skip threes"));
+            }
+            if x == 4 {
+                return Ok(());
+            }
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -5,8 +5,8 @@ use std::collections::BTreeMap;
 use rperf_model::config::{LinkConfig, RnicConfig};
 use rperf_model::ids::PacketId;
 use rperf_model::{
-    FlowId, Lid, LinkRate, MsgId, NodeId, Packet, PacketKind, QpNum, ServiceLevel, Transport,
-    Verb, VirtualLane,
+    FlowId, Lid, LinkRate, MsgId, NodeId, Packet, PacketKind, QpNum, ServiceLevel, Transport, Verb,
+    VirtualLane,
 };
 use rperf_sim::{SimDuration, SimRng, SimTime};
 use rperf_switch::CreditLedger;
@@ -479,11 +479,7 @@ impl Rnic {
     }
 
     fn drain_pending(&mut self, now: SimTime) {
-        let due: Vec<SimTime> = self
-            .pending_tx
-            .range(..=now)
-            .map(|(t, _)| *t)
-            .collect();
+        let due: Vec<SimTime> = self.pending_tx.range(..=now).map(|(t, _)| *t).collect();
         for t in due {
             for item in self.pending_tx.remove(&t).expect("key present") {
                 match item {
@@ -503,9 +499,10 @@ impl Rnic {
         }
         let sl2vl = self.cfg.sl2vl;
         let credits = &mut self.peer_credits;
-        let picked = self
-            .txq
-            .pop_next(|p| sl2vl.vl_for(p.sl), |vl, bytes| credits.can_send(vl, bytes));
+        let picked = self.txq.pop_next(
+            |p| sl2vl.vl_for(p.sl),
+            |vl, bytes| credits.can_send(vl, bytes),
+        );
         let Some((packet, vl)) = picked else {
             return;
         };
@@ -532,10 +529,7 @@ impl Rnic {
             self.complete_requester(packet.msg, wire_done, out);
         }
 
-        out.push(RnicAction::Transmit {
-            packet,
-            serialize,
-        });
+        out.push(RnicAction::Transmit { packet, serialize });
         out.push(RnicAction::Wake { at: self.wire_free });
     }
 
@@ -604,7 +598,12 @@ impl Rnic {
             PacketKind::ReadRequest { bytes } => {
                 self.respond_to_read(rx_done, &packet, bytes, &mut out);
             }
-            PacketKind::Data { verb, transport, last, .. } => {
+            PacketKind::Data {
+                verb,
+                transport,
+                last,
+                ..
+            } => {
                 let total = {
                     let acc = self.rx_accum.entry(packet.msg.raw()).or_insert(0);
                     *acc += packet.payload;
@@ -643,8 +642,7 @@ impl Rnic {
             let chunk = remaining.min(self.cfg.mtu);
             remaining -= chunk;
             cumulative += chunk;
-            let ready =
-                rx_done + self.cfg.dma_read_latency + self.pcie_time(cumulative);
+            let ready = rx_done + self.cfg.dma_read_latency + self.pcie_time(cumulative);
             let response = Packet {
                 id: self.alloc_pkt(),
                 flow: request.flow,
@@ -758,8 +756,8 @@ fn opcode_of(verb: Verb) -> CqeOpcode {
 mod tests {
     use super::*;
     use rperf_model::ClusterConfig;
-    use std::collections::BinaryHeap;
     use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
 
     /// A tiny pump that feeds an RNIC its own wakes and collects the
     /// externally visible actions.
@@ -864,7 +862,10 @@ mod tests {
     fn multi_packet_message_respects_mtu() {
         let mut p = Pump::new(1);
         let qp = p.rnic.create_qp(Transport::Rc);
-        let actions = p.rnic.post_send(SimTime::ZERO, qp, send_wr(1, 10_000, 2)).unwrap();
+        let actions = p
+            .rnic
+            .post_send(SimTime::ZERO, qp, send_wr(1, 10_000, 2))
+            .unwrap();
         p.absorb(SimTime::ZERO, actions);
         p.run();
         assert_eq!(p.transmitted.len(), 3);
@@ -1030,7 +1031,10 @@ mod tests {
             .find(|c| c.opcode == CqeOpcode::Send)
             .expect("UD completes on wire exit");
         let (tx_at, _, ser) = &p.transmitted[0];
-        assert_eq!(cqe.visible_at, *tx_at + *ser + p.rnic.config().dma_write_latency);
+        assert_eq!(
+            cqe.visible_at,
+            *tx_at + *ser + p.rnic.config().dma_write_latency
+        );
     }
 
     #[test]
@@ -1045,7 +1049,10 @@ mod tests {
         a.absorb(SimTime::ZERO, actions);
         a.run();
         let (t, request, ser) = a.transmitted[0].clone();
-        assert!(matches!(request.kind, PacketKind::ReadRequest { bytes: 4096 }));
+        assert!(matches!(
+            request.kind,
+            PacketKind::ReadRequest { bytes: 4096 }
+        ));
         assert_eq!(request.payload, 0);
 
         // Responder turns the request into response data.

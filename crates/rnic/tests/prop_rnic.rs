@@ -13,9 +13,9 @@ fn pump(rnic: &mut Rnic, first: Vec<RnicAction>) -> Vec<(SimTime, Packet, SimDur
     let mut wakes: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
     let mut transmitted = Vec::new();
     let absorb = |actions: Vec<RnicAction>,
-                      now: SimTime,
-                      wakes: &mut BinaryHeap<Reverse<u64>>,
-                      out: &mut Vec<(SimTime, Packet, SimDuration)>| {
+                  now: SimTime,
+                  wakes: &mut BinaryHeap<Reverse<u64>>,
+                  out: &mut Vec<(SimTime, Packet, SimDuration)>| {
         for a in actions {
             match a {
                 RnicAction::Wake { at } => wakes.push(Reverse(at.as_ps())),
@@ -38,7 +38,13 @@ fn pump(rnic: &mut Rnic, first: Vec<RnicAction>) -> Vec<(SimTime, Packet, SimDur
 
 fn rnic_under_test() -> Rnic {
     let cfg = ClusterConfig::omnet_simulator();
-    Rnic::new(NodeId::new(1), Lid::new(1), cfg.rnic, &cfg.link, SimRng::new(3))
+    Rnic::new(
+        NodeId::new(1),
+        Lid::new(1),
+        cfg.rnic,
+        &cfg.link,
+        SimRng::new(3),
+    )
 }
 
 proptest! {

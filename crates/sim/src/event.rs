@@ -83,17 +83,44 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue whose heap can hold `capacity` events before
+    /// reallocating. Simulations schedule and pop millions of events
+    /// through a heap that rarely exceeds a few thousand entries; sizing
+    /// it once up front keeps reallocation (and the copy of every pending
+    /// entry it implies) out of the hot pop/push loop.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Reserves space for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The timestamp of the most recently popped event (`t = 0` initially).
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// Number of events waiting in the queue.
+    #[inline]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// `true` if no events are pending.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -109,6 +136,7 @@ impl<E> EventQueue<E> {
     ///
     /// In debug builds, panics if `at` is earlier than [`EventQueue::now`]
     /// (scheduling into the past indicates a device-model bug).
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, event: E) {
         debug_assert!(
             at >= self.now,
@@ -121,6 +149,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `event` `delay` after the current time.
+    #[inline]
     pub fn schedule_in(&mut self, delay: crate::SimDuration, event: E) {
         self.schedule(self.now + delay, event);
     }
@@ -132,6 +161,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event, advancing [`EventQueue::now`].
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
         self.now = entry.at;
@@ -140,6 +170,7 @@ impl<E> EventQueue<E> {
     }
 
     /// The timestamp of the next event without removing it.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
     }
@@ -225,6 +256,19 @@ mod tests {
         while q.pop().is_some() {}
         assert_eq!(q.popped(), 5);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_does_not_grow_within_bounds() {
+        let mut q = EventQueue::with_capacity(128);
+        let cap = q.capacity();
+        assert!(cap >= 128);
+        for i in 0..128u64 {
+            q.schedule(SimTime::from_ns(i), i);
+        }
+        assert_eq!(q.capacity(), cap, "pre-sized heap must not reallocate");
+        q.reserve(512);
+        assert!(q.capacity() >= q.len() + 512);
     }
 
     #[test]

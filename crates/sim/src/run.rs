@@ -70,33 +70,36 @@ pub fn run<W: World>(
     q: &mut EventQueue<W::Event>,
     stop: StopCondition,
 ) -> RunOutcome {
-    let mut budget = match stop {
-        StopCondition::EventBudget(n) => Some(n),
-        _ => None,
-    };
-    let horizon = match stop {
-        StopCondition::At(t) => Some(t),
-        _ => None,
-    };
-
-    loop {
-        if let Some(h) = horizon {
+    // The stop condition is invariant across the run; branching on it once
+    // here keeps the per-event path down to pop + handle (+ one comparison
+    // for the horizon/budget variants) instead of re-testing two Options
+    // on every iteration of the hottest loop in the workspace.
+    match stop {
+        StopCondition::QueueEmpty => loop {
+            match q.pop() {
+                Some((now, ev)) => world.handle(now, ev, q),
+                None => return RunOutcome::QueueDrained,
+            }
+        },
+        StopCondition::At(horizon) => loop {
             match q.peek_time() {
-                Some(t) if t >= h => return RunOutcome::HorizonReached,
+                Some(t) if t >= horizon => return RunOutcome::HorizonReached,
                 None => return RunOutcome::QueueDrained,
                 _ => {}
             }
-        }
-        if let Some(b) = budget.as_mut() {
-            if *b == 0 {
+            let (now, ev) = q.pop().expect("peeked event vanished");
+            world.handle(now, ev, q);
+        },
+        StopCondition::EventBudget(mut budget) => loop {
+            if budget == 0 {
                 return RunOutcome::BudgetExhausted;
             }
-            *b -= 1;
-        }
-        match q.pop() {
-            Some((now, ev)) => world.handle(now, ev, q),
-            None => return RunOutcome::QueueDrained,
-        }
+            budget -= 1;
+            match q.pop() {
+                Some((now, ev)) => world.handle(now, ev, q),
+                None => return RunOutcome::QueueDrained,
+            }
+        },
     }
 }
 

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An absolute point in simulated time, in picoseconds since simulation start.
 ///
 /// `SimTime` is an absolute instant; the span between two instants is a
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t1 - t0, SimDuration::from_ns(100));
 /// assert_eq!(t1.as_ps(), 100_000);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in picoseconds.
@@ -34,7 +32,7 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_us(2) + SimDuration::from_ns(500);
 /// assert_eq!(d.as_ns_f64(), 2500.0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {

@@ -1,0 +1,104 @@
+//! A tiny deterministic JSON writer.
+//!
+//! The figure artifacts (`*.json` next to EXPERIMENTS.md, the bench
+//! report) need a serializer whose byte output is a pure function of the
+//! data — the parallel-sweep determinism test compares serialized figures
+//! byte-for-byte. `serde`/`serde_json` are unavailable in the offline
+//! build environment (DESIGN.md §6), and this writer is all the suite
+//! needs: objects, arrays, strings, and numbers.
+
+use std::fmt::Write as _;
+
+/// Formats an `f64` as a JSON token.
+///
+/// Uses Rust's shortest-roundtrip `Display`, which is deterministic across
+/// platforms; non-finite values (which JSON cannot carry) render as `null`.
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x}");
+        // `Display` omits the decimal point for integral values; keep it
+        // so consumers see a float-typed column throughout.
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes and quotes a string as a JSON token.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An array of already-serialized JSON tokens.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// An object from `(key, already-serialized value)` pairs, in the order
+/// given (no reordering: key order is part of the deterministic output).
+pub fn object<'a, I: IntoIterator<Item = (&'a str, String)>>(fields: I) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&string(k));
+        out.push(':');
+        out.push_str(&v);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip_and_keep_float_shape() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(2.0), "2.0");
+        assert_eq!(num(-0.25), "-0.25");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_compose() {
+        let obj = object([("id", string("fig4")), ("xs", array([num(1.0), num(2.5)]))]);
+        assert_eq!(obj, r#"{"id":"fig4","xs":[1.0,2.5]}"#);
+    }
+}

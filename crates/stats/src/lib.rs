@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod histogram;
+pub mod json;
 mod meter;
 mod series;
 mod summary;

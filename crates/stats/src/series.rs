@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use serde::{Deserialize, Serialize};
+use crate::json;
 
 /// One labelled series of `(x, y)` points — e.g. "99.9th (w/ switch)".
 ///
@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.len(), 2);
 /// assert_eq!(s.y_at(64.0), Some(0.43));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -55,17 +55,24 @@ impl Series {
 
     /// The y value at the first point whose x equals `x` exactly.
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.x
-            .iter()
-            .position(|&xi| xi == x)
-            .map(|i| self.y[i])
+        self.x.iter().position(|&xi| xi == x).map(|i| self.y[i])
+    }
+
+    /// Serializes the series as deterministic JSON (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        json::object([
+            ("label", json::string(&self.label)),
+            ("x", json::array(self.x.iter().map(|&v| json::num(v)))),
+            ("y", json::array(self.y.iter().map(|&v| json::num(v)))),
+        ])
     }
 }
 
 /// A reproduction of one paper figure: a set of series over a shared x-axis.
 ///
-/// Renders as a Markdown table for EXPERIMENTS.md and serializes to JSON for
-/// downstream plotting.
+/// Renders as a Markdown table for EXPERIMENTS.md and serializes to
+/// deterministic JSON ([`Figure::to_json`]) for downstream plotting and
+/// for byte-exact comparison of sweep results.
 ///
 /// # Examples
 ///
@@ -79,7 +86,7 @@ impl Series {
 /// let md = fig.to_markdown();
 /// assert!(md.contains("| Payload (B) | 50th |"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Short identifier ("fig4").
     pub id: String,
@@ -117,7 +124,11 @@ impl Figure {
 
     /// The union of all x values across series, sorted ascending.
     pub fn x_values(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.x.iter().copied()).collect();
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.x.iter().copied())
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN x values"));
         xs.dedup();
         xs
@@ -156,6 +167,22 @@ impl Figure {
         let _ = writeln!(out);
         let _ = writeln!(out, "Units: x = {}, y = {}.", self.x_label, self.y_label);
         out
+    }
+
+    /// Serializes the figure (id, labels, every series) as deterministic
+    /// JSON: identical data produces identical bytes, which is what the
+    /// parallel-sweep determinism test asserts.
+    pub fn to_json(&self) -> String {
+        json::object([
+            ("id", json::string(&self.id)),
+            ("title", json::string(&self.title)),
+            ("x_label", json::string(&self.x_label)),
+            ("y_label", json::string(&self.y_label)),
+            (
+                "series",
+                json::array(self.series.iter().map(|s| s.to_json())),
+            ),
+        ])
     }
 }
 
@@ -196,10 +223,16 @@ mod tests {
     }
 
     #[test]
-    fn figure_implements_serialize() {
-        fn assert_serialize<T: serde::Serialize>() {}
-        assert_serialize::<Figure>();
-        assert_serialize::<Series>();
+    fn figure_serializes_to_deterministic_json() {
+        let fig = sample_figure();
+        let j = fig.to_json();
+        assert!(j.starts_with(r#"{"id":"figX""#), "{j}");
+        assert!(
+            j.contains(r#""label":"50th","x":[64.0,128.0],"y":[1.0,2.0]"#),
+            "{j}"
+        );
+        // Determinism: same data, same bytes.
+        assert_eq!(j, sample_figure().to_json());
     }
 
     #[test]

@@ -141,8 +141,8 @@ pub fn plan(spec: &TopologySpec, ports_per_switch: u8) -> Result<SubnetPlan, Sub
             if sw == attached {
                 table.push((lid, port));
             } else {
-                let hop = next_hop[sw][attached]
-                    .expect("connectivity verified: a next hop must exist");
+                let hop =
+                    next_hop[sw][attached].expect("connectivity verified: a next hop must exist");
                 table.push((lid, hop));
             }
         }
@@ -192,7 +192,10 @@ mod tests {
         let plan = plan(&TopologySpec::chain(2, &[3, 4]), 12).unwrap();
         // Trunk ports come after host ports: 3 hosts on switch 0 → trunk
         // port 3; 4 hosts on switch 1 → trunk port 4.
-        assert_eq!(plan.trunk_ports[0], ((0, PortId::new(3)), (1, PortId::new(4))));
+        assert_eq!(
+            plan.trunk_ports[0],
+            ((0, PortId::new(3)), (1, PortId::new(4)))
+        );
         // Host 0 (switch 0): switch 1 routes its LID over the trunk.
         let lid0 = plan.lids[0];
         assert_eq!(plan.route_of(1, lid0), Some(PortId::new(4)));
@@ -225,7 +228,10 @@ mod tests {
     #[test]
     fn port_budget_enforced() {
         let err = plan(&TopologySpec::single_switch(13), 12).unwrap_err();
-        assert!(matches!(err, SubnetError::PortBudgetExceeded { needed: 13, .. }));
+        assert!(matches!(
+            err,
+            SubnetError::PortBudgetExceeded { needed: 13, .. }
+        ));
     }
 
     #[test]
@@ -238,7 +244,10 @@ mod tests {
     #[test]
     fn self_trunk_rejected() {
         let spec = TopologySpec::custom(2, vec![0, 1], vec![(1, 1)]);
-        assert_eq!(plan(&spec, 12).unwrap_err(), SubnetError::SelfTrunk { switch: 1 });
+        assert_eq!(
+            plan(&spec, 12).unwrap_err(),
+            SubnetError::SelfTrunk { switch: 1 }
+        );
     }
 
     #[test]

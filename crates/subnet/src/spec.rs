@@ -72,7 +72,11 @@ impl TopologySpec {
     }
 
     /// An explicit topology.
-    pub fn custom(switches: usize, host_attachments: Vec<usize>, trunks: Vec<(usize, usize)>) -> Self {
+    pub fn custom(
+        switches: usize,
+        host_attachments: Vec<usize>,
+        trunks: Vec<(usize, usize)>,
+    ) -> Self {
         let trunks = trunks
             .into_iter()
             .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })

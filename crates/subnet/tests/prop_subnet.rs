@@ -7,8 +7,12 @@ use rperf_subnet::{plan, SubnetError, TopologySpec};
 /// Strategy: a random connected topology (spanning-tree trunks plus a few
 /// extra edges) with hosts scattered over the switches.
 fn topo_strategy() -> impl Strategy<Value = TopologySpec> {
-    (1usize..6, prop::collection::vec(0usize..6, 1..10), any::<u64>()).prop_map(
-        |(n_sw, host_raw, seed)| {
+    (
+        1usize..6,
+        prop::collection::vec(0usize..6, 1..10),
+        any::<u64>(),
+    )
+        .prop_map(|(n_sw, host_raw, seed)| {
             let hosts: Vec<usize> = host_raw.into_iter().map(|h| h % n_sw).collect();
             // Spanning tree: connect i to a pseudo-random earlier switch.
             let mut trunks = Vec::new();
@@ -24,8 +28,7 @@ fn topo_strategy() -> impl Strategy<Value = TopologySpec> {
             }
             trunks.dedup();
             TopologySpec::custom(n_sw, hosts, trunks)
-        },
-    )
+        })
 }
 
 proptest! {

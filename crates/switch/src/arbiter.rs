@@ -68,9 +68,7 @@ impl PacketScheduler {
             SchedPolicy::RoundRobin => {
                 for step in 0..self.ports {
                     let p = (self.cursor + step) % self.ports;
-                    if let Some((port, _)) =
-                        candidates.iter().find(|(port, _)| port.raw() == p)
-                    {
+                    if let Some((port, _)) = candidates.iter().find(|(port, _)| port.raw() == p) {
                         self.cursor = (p + 1) % self.ports;
                         return Some(*port);
                     }
@@ -125,10 +123,7 @@ mod tests {
     #[test]
     fn fcfs_breaks_ties_by_port() {
         let mut s = PacketScheduler::new(SchedPolicy::Fcfs, 12);
-        assert_eq!(
-            s.pick(&cand(&[(5, 10), (2, 10)])),
-            Some(PortId::new(2))
-        );
+        assert_eq!(s.pick(&cand(&[(5, 10), (2, 10)])), Some(PortId::new(2)));
     }
 
     #[test]
@@ -151,10 +146,7 @@ mod tests {
     fn rr_ignores_arrival_times() {
         let mut s = PacketScheduler::new(SchedPolicy::RoundRobin, 4);
         // Port 2 has the oldest packet but RR starts at the cursor.
-        assert_eq!(
-            s.pick(&cand(&[(2, 1), (0, 100)])),
-            Some(PortId::new(0))
-        );
+        assert_eq!(s.pick(&cand(&[(2, 1), (0, 100)])), Some(PortId::new(0)));
     }
 
     #[test]

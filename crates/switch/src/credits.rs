@@ -141,5 +141,4 @@ mod tests {
             assert!(c.consume(vl, u32::MAX as u64));
         }
     }
-
 }

@@ -105,7 +105,9 @@ impl Switch {
         let down_credits = (0..ports)
             .map(|_| CreditLedger::new(vls, cfg.input_buffer_bytes))
             .collect();
-        let vlarbs = (0..ports).map(|_| VlArbiter::new(cfg.vlarb.clone())).collect();
+        let vlarbs = (0..ports)
+            .map(|_| VlArbiter::new(cfg.vlarb.clone()))
+            .collect();
         let scheds = (0..ports)
             .map(|_| PacketScheduler::new(cfg.policy, cfg.ports))
             .collect();
@@ -148,12 +150,7 @@ impl Switch {
     /// Aggregate counters.
     pub fn stats(&self) -> SwitchStats {
         let mut s = self.stats;
-        s.buffer_violations = self
-            .buffers
-            .iter()
-            .flatten()
-            .map(|b| b.violations())
-            .sum();
+        s.buffer_violations = self.buffers.iter().flatten().map(|b| b.violations()).sum();
         s
     }
 
@@ -505,9 +502,9 @@ mod tests {
         // First packet dispatches and consumes the whole grant.
         let first = sw.egress_wake(at, PortId::new(0));
         let busy_until = wake_of(&first);
-        assert!(first
-            .iter()
-            .any(|a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(1))));
+        assert!(first.iter().any(
+            |a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(1))
+        ));
 
         // Port free again, but the second packet has no credits.
         let actions = sw.egress_wake(busy_until, PortId::new(0));
@@ -577,9 +574,9 @@ mod tests {
         assert!(none.is_empty(), "{none:?}");
         // At busy_until the port frees and forwards the second packet.
         let actions = sw.egress_wake(busy_until, PortId::new(0));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(2))));
+        assert!(actions.iter().any(
+            |a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(2))
+        ));
     }
 
     #[test]

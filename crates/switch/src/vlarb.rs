@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn limit_high_forces_low_turn() {
         let mut arb = VlArbiter::new(VlArbConfig::dedicated_high_vl1()); // 4 KB limit
-        // Send 16 × 256 B high packets (4096 B): budget exhausts.
+                                                                         // Send 16 × 256 B high packets (4096 B): budget exhausts.
         for _ in 0..16 {
             assert_eq!(arb.choose(&[vl(0), vl(1)]), Some(vl(1)));
             arb.account(vl(1), 256);
@@ -227,7 +227,7 @@ mod tests {
     fn owed_low_turn_skipped_if_no_low_traffic() {
         let mut arb = VlArbiter::new(VlArbConfig::dedicated_high_vl1());
         arb.account(vl(1), 4096); // exhaust the budget
-        // Only high traffic present: stay work-conserving.
+                                  // Only high traffic present: stay work-conserving.
         assert_eq!(arb.choose(&[vl(1)]), Some(vl(1)));
     }
 

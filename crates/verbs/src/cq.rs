@@ -2,8 +2,8 @@
 
 use std::collections::VecDeque;
 
-use rperf_sim::SimTime;
 use rperf_model::QpNum;
+use rperf_sim::SimTime;
 
 use crate::wr::WrId;
 

@@ -41,7 +41,10 @@ impl fmt::Display for VerbsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerbsError::InvalidVerbForTransport { verb, transport } => {
-                write!(f, "verb {verb:?} is not supported on {transport:?} transport")
+                write!(
+                    f,
+                    "verb {verb:?} is not supported on {transport:?} transport"
+                )
             }
             VerbsError::ReceiverNotReady { qp } => {
                 write!(f, "no receive work request posted on {qp}")
@@ -50,7 +53,10 @@ impl fmt::Display for VerbsError {
                 write!(f, "completion for unknown message on {qp}")
             }
             VerbsError::PayloadTooLarge { requested, limit } => {
-                write!(f, "payload of {requested} bytes exceeds limit of {limit} bytes")
+                write!(
+                    f,
+                    "payload of {requested} bytes exceeds limit of {limit} bytes"
+                )
             }
         }
     }

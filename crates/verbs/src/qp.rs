@@ -150,14 +150,8 @@ impl QueuePair {
 
     /// Registers a message the engine has started transmitting.
     pub fn register_outstanding(&mut self, msg: MsgId, wr: SendWr, posted_at: SimTime) {
-        self.outstanding.insert(
-            msg.raw(),
-            OutstandingMsg {
-                msg,
-                wr,
-                posted_at,
-            },
-        );
+        self.outstanding
+            .insert(msg.raw(), OutstandingMsg { msg, wr, posted_at });
     }
 
     /// Resolves an ACK (or READ-response completion) against an outstanding

@@ -230,9 +230,7 @@ mod tests {
         let warmup = SimDuration::from_us(50);
         sim.add_app(
             0,
-            Box::new(Bsg::new(
-                BsgConfig::new(1, payload).with_warmup(warmup),
-            )),
+            Box::new(Bsg::new(BsgConfig::new(1, payload).with_warmup(warmup))),
         );
         sim.add_app(1, Box::new(Sink::new()));
         sim.start();
@@ -284,7 +282,11 @@ mod tests {
         sim.start();
         sim.run_until(SimTime::from_us(500));
         let bsg = sim.app_as::<Bsg>(0);
-        assert!(bsg.completed() > 100, "only {} completions", bsg.completed());
+        assert!(
+            bsg.completed() > 100,
+            "only {} completions",
+            bsg.completed()
+        );
     }
 
     #[test]

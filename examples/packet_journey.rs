@@ -61,10 +61,16 @@ fn main() {
             TraceEvent::SwitchIngress {
                 switch, ingress, ..
             } => {
-                println!("  {:>12}  switch {switch} ingress {ingress}  {delta}", record.at.to_string());
+                println!(
+                    "  {:>12}  switch {switch} ingress {ingress}  {delta}",
+                    record.at.to_string()
+                );
             }
             TraceEvent::HostArrival { node, .. } => {
-                println!("  {:>12}  host {node} (last bit)       {delta}", record.at.to_string());
+                println!(
+                    "  {:>12}  host {node} (last bit)       {delta}",
+                    record.at.to_string()
+                );
             }
             TraceEvent::Completion { .. } => {}
         }

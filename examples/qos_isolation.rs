@@ -23,10 +23,17 @@ fn main() {
         ("no BSGs (baseline)", 0, QosMode::SharedSl),
         ("shared SL", 5, QosMode::SharedSl),
         ("dedicated SL", 5, QosMode::DedicatedSl),
-        ("dedicated SL + pretend LSG", 4, QosMode::DedicatedSlWithPretend),
+        (
+            "dedicated SL + pretend LSG",
+            4,
+            QosMode::DedicatedSlWithPretend,
+        ),
     ];
 
-    println!("{:<28} {:>10} {:>10} {:>12}", "setup", "p50 (µs)", "p99.9", "total Gbps");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12}",
+        "setup", "p50 (µs)", "p99.9", "total Gbps"
+    );
     for (name, bsgs, qos) in setups {
         let out = converged(&spec, bsgs, 4096, 1, true, qos);
         let lsg = out.lsg.expect("LSG attached").summary;

@@ -22,22 +22,38 @@ fn main() {
 
     println!("Single hop (5 × 4096 B BSGs + 1 LSG → one destination):");
     println!("  {:<14} {:>10} {:>10}", "policy", "p50 (µs)", "p99.9");
-    for (name, policy) in [("FCFS", SchedPolicy::Fcfs), ("Round-Robin", SchedPolicy::RoundRobin)] {
+    for (name, policy) in [
+        ("FCFS", SchedPolicy::Fcfs),
+        ("Round-Robin", SchedPolicy::RoundRobin),
+    ] {
         let out = converged(&base(policy), 5, 4096, 1, true, QosMode::SharedSl);
         let lsg = out.lsg.expect("LSG attached").summary;
-        println!("  {:<14} {:>10.2} {:>10.2}", name, lsg.p50_us(), lsg.p999_us());
+        println!(
+            "  {:<14} {:>10.2} {:>10.2}",
+            name,
+            lsg.p50_us(),
+            lsg.p999_us()
+        );
     }
 
     println!();
     println!("Two hops (2 BSGs + LSG upstream, 3 BSGs downstream):");
     println!("  {:<14} {:>10} {:>10}", "policy", "p50 (µs)", "p99.9");
-    for (name, policy) in [("FCFS", SchedPolicy::Fcfs), ("Round-Robin", SchedPolicy::RoundRobin)] {
+    for (name, policy) in [
+        ("FCFS", SchedPolicy::Fcfs),
+        ("Round-Robin", SchedPolicy::RoundRobin),
+    ] {
         let spec = RunSpec::new(ClusterConfig::omnet_simulator())
             .with_seed(11)
             .with_duration(SimDuration::from_ms(8));
         let out = multihop(&spec, policy);
         let lsg = out.lsg.expect("LSG attached").summary;
-        println!("  {:<14} {:>10.2} {:>10.2}", name, lsg.p50_us(), lsg.p999_us());
+        println!(
+            "  {:<14} {:>10.2} {:>10.2}",
+            name,
+            lsg.p50_us(),
+            lsg.p999_us()
+        );
     }
 
     println!();

@@ -179,7 +179,10 @@ fn simulator_profile_has_no_tail() {
 fn round_robin_protects_single_hop_latency() {
     // Paper Fig. 10: RR bounds the LSG's wait to ~one packet per port.
     let fcfs = converged(
-        &spec(ClusterConfig::omnet_simulator().with_policy(SchedPolicy::Fcfs), 7),
+        &spec(
+            ClusterConfig::omnet_simulator().with_policy(SchedPolicy::Fcfs),
+            7,
+        ),
         5,
         4096,
         1,

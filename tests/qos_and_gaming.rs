@@ -3,8 +3,7 @@
 //! and measurement-tool bias ordering (Sections III/IV).
 
 use rperf::scenario::{
-    converged, multihop, one_to_one_perftest, one_to_one_qperf, one_to_one_rperf, QosMode,
-    RunSpec,
+    converged, multihop, one_to_one_perftest, one_to_one_qperf, one_to_one_rperf, QosMode, RunSpec,
 };
 use rperf_model::config::SchedPolicy;
 use rperf_model::ClusterConfig;
@@ -83,8 +82,7 @@ fn pretend_lsg_hurts_the_real_lsg_and_grabs_bandwidth() {
     );
 
     let pretend = gamed.pretend_gbps.expect("gaming run");
-    let honest_share =
-        gamed.per_bsg_gbps.iter().sum::<f64>() / gamed.per_bsg_gbps.len() as f64;
+    let honest_share = gamed.per_bsg_gbps.iter().sum::<f64>() / gamed.per_bsg_gbps.len() as f64;
     let ratio = pretend / honest_share;
     assert!(
         (2.0..5.0).contains(&ratio),
@@ -152,7 +150,10 @@ fn rr_fails_to_isolate_across_two_hops() {
 
 #[test]
 fn multihop_fcfs_is_at_least_as_bad_as_rr() {
-    let fcfs = multihop(&spec(ClusterConfig::omnet_simulator(), 5), SchedPolicy::Fcfs);
+    let fcfs = multihop(
+        &spec(ClusterConfig::omnet_simulator(), 5),
+        SchedPolicy::Fcfs,
+    );
     let rr = multihop(
         &spec(ClusterConfig::omnet_simulator(), 5),
         SchedPolicy::RoundRobin,

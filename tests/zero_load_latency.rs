@@ -32,7 +32,11 @@ fn payload_size_has_small_effect_on_rtt() {
     let small = one_to_one_rperf(&spec(2), false, 64).summary.p50_ns();
     let large = one_to_one_rperf(&spec(2), false, 4096).summary.p50_ns();
     assert!(large > small);
-    assert!(large - small < 100.0, "64→4096 B delta {:.1} ns", large - small);
+    assert!(
+        large - small < 100.0,
+        "64→4096 B delta {:.1} ns",
+        large - small
+    );
 }
 
 #[test]
@@ -75,9 +79,11 @@ fn switch_delta_is_roughly_payload_independent() {
 #[test]
 fn simulation_matches_analytic_oracle_within_noise() {
     for (through, payload) in [(false, 64u64), (false, 4096), (true, 64), (true, 4096)] {
-        let est = rperf_zero_load_rtt_estimate(&ClusterConfig::hardware(), payload, through)
-            .as_ns_f64();
-        let got = one_to_one_rperf(&spec(5), through, payload).summary.p50_ns();
+        let est =
+            rperf_zero_load_rtt_estimate(&ClusterConfig::hardware(), payload, through).as_ns_f64();
+        let got = one_to_one_rperf(&spec(5), through, payload)
+            .summary
+            .p50_ns();
         assert!(
             (got - est).abs() < 30.0,
             "payload {payload}, switch {through}: simulated {got:.1} ns vs \
