@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint build test bench report quick-report
+.PHONY: ci fmt lint build test bench bench-smoke report quick-report
 
 ci: fmt lint build test
 
@@ -28,3 +28,9 @@ report:
 
 quick-report:
 	$(CARGO) run --release -p rperf-bench --bin report -- --quick --jobs $(shell nproc)
+
+# CI smoke: report on the reduced (--quick) point set, single job for
+# determinism. Fails if any packet handle leaks; BENCH_report.json is
+# uploaded as a workflow artifact.
+bench-smoke:
+	$(CARGO) run --release -p rperf-bench --bin report -- --quick --jobs 1

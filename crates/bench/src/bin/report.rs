@@ -35,9 +35,25 @@ fn timed<T>(stats: &mut Vec<FigStat>, id: &'static str, f: impl FnOnce() -> T) -
     out
 }
 
+/// Pulls `total_events_per_sec` out of a previously written
+/// BENCH_baseline.json, if one sits next to the report. A full JSON
+/// parser would be overkill for one flat numeric field.
+fn baseline_events_per_sec(path: &std::path::Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"total_events_per_sec\":";
+    let start = text.find(key)? + key.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Serializes the per-figure stats deterministically (modulo the timings
 /// themselves, which are wall-clock measurements).
-fn bench_report_json(effort: &Effort, stats: &[FigStat]) -> String {
+fn bench_report_json(effort: &Effort, stats: &[FigStat], baseline: Option<f64>) -> String {
     let figures: Vec<String> = stats
         .iter()
         .map(|s| {
@@ -51,15 +67,29 @@ fn bench_report_json(effort: &Effort, stats: &[FigStat]) -> String {
         .collect();
     let total_wall: f64 = stats.iter().map(|s| s.wall_s).sum();
     let total_events: u64 = stats.iter().map(|s| s.events).sum();
+    let events_per_sec = total_events as f64 / total_wall;
     json::object([
         ("jobs", json::num(effort.jobs as f64)),
         ("seeds", json::num(effort.seeds.len() as f64)),
         ("scale", json::num(effort.scale)),
         ("total_wall_s", json::num(total_wall)),
         ("total_events", json::num(total_events as f64)),
+        ("total_events_per_sec", json::num(events_per_sec)),
         (
-            "total_events_per_sec",
-            json::num(total_events as f64 / total_wall),
+            "baseline_events_per_sec",
+            json::num(baseline.unwrap_or(f64::NAN)),
+        ),
+        (
+            "speedup_vs_baseline",
+            json::num(baseline.map_or(f64::NAN, |b| events_per_sec / b)),
+        ),
+        (
+            "slab_high_water",
+            json::num(rperf_fabric::slab_high_water_total() as f64),
+        ),
+        (
+            "packets_leaked",
+            json::num(rperf_fabric::packets_leaked_total() as f64),
         ),
         ("figures", json::array(figures)),
     ])
@@ -365,14 +395,38 @@ fn main() {
     eprintln!("wrote {}", out_path.display());
 
     let bench_path = out_path.with_file_name("BENCH_report.json");
-    std::fs::write(&bench_path, bench_report_json(&effort, &stats) + "\n")
-        .expect("write BENCH_report.json");
+    let baseline = baseline_events_per_sec(&out_path.with_file_name("BENCH_baseline.json"));
+    std::fs::write(
+        &bench_path,
+        bench_report_json(&effort, &stats, baseline) + "\n",
+    )
+    .expect("write BENCH_report.json");
     let total_wall: f64 = stats.iter().map(|s| s.wall_s).sum();
     let total_events: u64 = stats.iter().map(|s| s.events).sum();
+    let events_per_sec = total_events as f64 / total_wall;
     eprintln!(
         "wrote {} ({} jobs, {total_wall:.2} s wall, {:.2} Mev/s aggregate)",
         bench_path.display(),
         effort.jobs,
-        total_events as f64 / total_wall / 1e6
+        events_per_sec / 1e6
     );
+    if let Some(b) = baseline {
+        eprintln!(
+            "  vs BENCH_baseline.json: {:.2} Mev/s baseline, {:.2}x",
+            b / 1e6,
+            events_per_sec / b
+        );
+    }
+    eprintln!(
+        "  packet slab: high-water {} live handles, {} leaked",
+        rperf_fabric::slab_high_water_total(),
+        rperf_fabric::packets_leaked_total()
+    );
+
+    // A leaked handle means some packet was injected but never freed at
+    // its destination — a correctness bug, not a performance detail.
+    if rperf_fabric::packets_leaked_total() > 0 {
+        eprintln!("error: packet handles leaked; failing the report");
+        std::process::exit(1);
+    }
 }

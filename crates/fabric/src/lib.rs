@@ -35,4 +35,6 @@ mod world;
 
 pub use topology::{Endpoint, Fabric, FabricBuilder};
 pub use trace::{TraceEvent, TraceRecord, Tracer};
-pub use world::{events_processed_total, App, Ctx, FabricEvent, Sim};
+pub use world::{
+    events_processed_total, packets_leaked_total, slab_high_water_total, App, Ctx, FabricEvent, Sim,
+};

@@ -1,6 +1,9 @@
 //! Fabric construction and device wiring.
 
+use std::sync::Arc;
+
 use rperf_host::TscClock;
+use rperf_model::arena::PacketSlab;
 use rperf_model::config::RnicConfig;
 use rperf_model::{ClusterConfig, Lid, NodeId, PortId};
 use rperf_rnic::Rnic;
@@ -19,14 +22,21 @@ pub enum Endpoint {
 
 /// The assembled cluster: devices plus cabling.
 ///
+/// The cluster configuration is held in an [`Arc`] shared with every
+/// device (nodes and switches reference the same allocation rather than
+/// each owning a clone). All in-flight packets live in the fabric's
+/// [`PacketSlab`]; devices exchange copyable handles.
+///
 /// Use the constructors ([`Fabric::direct_pair`], [`Fabric::single_switch`],
 /// [`Fabric::two_switch`]) or [`FabricBuilder`] for per-node overrides.
 #[derive(Debug)]
 pub struct Fabric {
-    pub(crate) cfg: ClusterConfig,
+    pub(crate) cfg: Arc<ClusterConfig>,
     pub(crate) rnics: Vec<Rnic>,
     pub(crate) clocks: Vec<TscClock>,
     pub(crate) switches: Vec<Switch>,
+    /// Every in-flight packet in the fabric.
+    pub(crate) slab: PacketSlab,
     /// Peer of each RNIC's single port.
     pub(crate) rnic_peer: Vec<Endpoint>,
     /// Peer of each switch port (`None` = unconnected).
@@ -79,6 +89,11 @@ impl Fabric {
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// The packet arena holding every in-flight packet.
+    pub fn slab(&self) -> &PacketSlab {
+        &self.slab
     }
 
     /// The LID of a node.
@@ -140,20 +155,22 @@ impl FabricBuilder {
         self
     }
 
-    fn rnic_cfg_for(&self, node: usize) -> RnicConfig {
+    fn rnic_cfg_for(&self, node: usize, shared: &Arc<RnicConfig>) -> Arc<RnicConfig> {
         self.rnic_overrides
             .iter()
             .rev()
             .find(|(n, _)| *n == node)
-            .map(|(_, c)| c.clone())
-            .unwrap_or_else(|| self.cfg.rnic.clone())
+            .map(|(_, c)| Arc::new(c.clone()))
+            .unwrap_or_else(|| Arc::clone(shared))
     }
 
     fn make_nodes(&self, count: usize, rng: &mut SimRng) -> (Vec<Rnic>, Vec<TscClock>) {
+        // All non-overridden nodes share one config allocation.
+        let shared = Arc::new(self.cfg.rnic.clone());
         let mut rnics = Vec::with_capacity(count);
         let mut clocks = Vec::with_capacity(count);
         for i in 0..count {
-            let cfg = self.rnic_cfg_for(i);
+            let cfg = self.rnic_cfg_for(i, &shared);
             rnics.push(Rnic::new(
                 NodeId::new(i as u16),
                 Lid::new(i as u16 + 1),
@@ -169,6 +186,11 @@ impl FabricBuilder {
         (rnics, clocks)
     }
 
+    /// One switch-config allocation shared by every switch in the fabric.
+    fn switch_cfg(&self) -> Arc<rperf_model::config::SwitchConfig> {
+        Arc::new(self.cfg.switch.clone())
+    }
+
     /// Builds the back-to-back two-host fabric.
     pub fn direct_pair(self) -> Fabric {
         let mut rng = SimRng::new(self.seed);
@@ -179,10 +201,11 @@ impl FabricBuilder {
         rnics[0].set_peer_credits(grant0);
         rnics[1].set_peer_credits(grant1);
         Fabric {
-            cfg: self.cfg,
+            cfg: Arc::new(self.cfg),
             rnics,
             clocks,
             switches: Vec::new(),
+            slab: PacketSlab::new(),
             rnic_peer: vec![Endpoint::Rnic(1), Endpoint::Rnic(0)],
             switch_peer: Vec::new(),
         }
@@ -198,11 +221,7 @@ impl FabricBuilder {
         );
         let mut rng = SimRng::new(self.seed);
         let (mut rnics, clocks) = self.make_nodes(nodes, &mut rng);
-        let mut sw = Switch::new(
-            self.cfg.switch.clone(),
-            self.cfg.link.data_rate(),
-            rng.fork(999),
-        );
+        let mut sw = Switch::new(self.switch_cfg(), self.cfg.link.data_rate(), rng.fork(999));
         let mut switch_ports = vec![None; self.cfg.switch.ports as usize];
         for (i, rnic) in rnics.iter_mut().enumerate() {
             let port = PortId::new(i as u8);
@@ -215,13 +234,14 @@ impl FabricBuilder {
             switch_ports[i] = Some(Endpoint::Rnic(i));
         }
         Fabric {
-            cfg: self.cfg,
             rnic_peer: (0..nodes)
                 .map(|i| Endpoint::SwitchPort(0, PortId::new(i as u8)))
                 .collect(),
+            cfg: Arc::new(self.cfg),
             rnics,
             clocks,
             switches: vec![sw],
+            slab: PacketSlab::new(),
             switch_peer: vec![switch_ports],
         }
     }
@@ -244,10 +264,11 @@ impl FabricBuilder {
         let vls = self.cfg.switch.vls;
         let buffer = self.cfg.switch.input_buffer_bytes;
 
+        let sw_cfg = self.switch_cfg();
         let mut switches: Vec<Switch> = (0..spec.switches())
             .map(|i| {
                 Switch::new(
-                    self.cfg.switch.clone(),
+                    Arc::clone(&sw_cfg),
                     self.cfg.link.data_rate(),
                     rng.fork(900 + i as u64),
                 )
@@ -278,10 +299,11 @@ impl FabricBuilder {
         }
 
         Fabric {
-            cfg: self.cfg,
+            cfg: Arc::new(self.cfg),
             rnics,
             clocks,
             switches,
+            slab: PacketSlab::new(),
             rnic_peer,
             switch_peer,
         }
@@ -297,16 +319,13 @@ impl FabricBuilder {
         let mut rng = SimRng::new(self.seed);
         let total = upstream + downstream;
         let (mut rnics, clocks) = self.make_nodes(total, &mut rng);
+        let sw_cfg = self.switch_cfg();
         let mut sw0 = Switch::new(
-            self.cfg.switch.clone(),
+            Arc::clone(&sw_cfg),
             self.cfg.link.data_rate(),
             rng.fork(998),
         );
-        let mut sw1 = Switch::new(
-            self.cfg.switch.clone(),
-            self.cfg.link.data_rate(),
-            rng.fork(997),
-        );
+        let mut sw1 = Switch::new(sw_cfg, self.cfg.link.data_rate(), rng.fork(997));
         let mut ports0 = vec![None; ports];
         let mut ports1 = vec![None; ports];
         let mut rnic_peer = Vec::with_capacity(total);
@@ -349,10 +368,11 @@ impl FabricBuilder {
         ports1[trunk.index()] = Some(Endpoint::SwitchPort(0, trunk));
 
         Fabric {
-            cfg: self.cfg,
+            cfg: Arc::new(self.cfg),
             rnics,
             clocks,
             switches: vec![sw0, sw1],
+            slab: PacketSlab::new(),
             rnic_peer,
             switch_peer: vec![ports0, ports1],
         }
@@ -427,6 +447,19 @@ mod tests {
             .single_switch(4);
         assert_eq!(f.rnic(2).config().wqe_engine, special.wqe_engine);
         assert_ne!(f.rnic(1).config().wqe_engine, special.wqe_engine);
+    }
+
+    #[test]
+    fn non_overridden_nodes_share_one_config_allocation() {
+        let f = Fabric::single_switch(ClusterConfig::hardware(), 4, 1);
+        let base = f.rnic(0).config() as *const RnicConfig;
+        for i in 1..4 {
+            assert_eq!(
+                f.rnic(i).config() as *const RnicConfig,
+                base,
+                "node {i} should share the config Arc"
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rperf_host::{Tsc, TscClock};
-use rperf_model::{ClusterConfig, Lid, Packet, PortId, QpNum, Transport, VirtualLane};
+use rperf_model::{ClusterConfig, Lid, PacketRef, PortId, QpNum, Transport, VirtualLane};
 use rperf_rnic::RnicAction;
 use rperf_sim::{run, EventQueue, SimDuration, SimTime, StopCondition, World};
 use rperf_switch::SwitchAction;
@@ -14,6 +14,10 @@ use crate::topology::{Endpoint, Fabric};
 use crate::trace::{TraceEvent, Tracer};
 
 /// An event flowing through the assembled fabric.
+///
+/// Packet events carry [`PacketRef`] handles into the fabric's
+/// [`rperf_model::PacketSlab`]; the packet body is allocated once at
+/// injection and never copied per hop.
 #[derive(Debug, Clone)]
 pub enum FabricEvent {
     /// An RNIC's self-scheduled wake-up.
@@ -23,7 +27,7 @@ pub enum FabricEvent {
         /// Destination node.
         node: usize,
         /// The packet.
-        packet: Packet,
+        packet: PacketRef,
     },
     /// Flow-control credits reach an RNIC.
     RnicCredit {
@@ -41,7 +45,7 @@ pub enum FabricEvent {
         /// Ingress port.
         ingress: PortId,
         /// The packet.
-        packet: Packet,
+        packet: PacketRef,
     },
     /// A switch egress wake-up.
     SwitchWake {
@@ -143,11 +147,9 @@ impl<'a> Ctx<'a> {
     ///
     /// Propagates verbs validation errors.
     pub fn post_send(&mut self, qp: QpNum, wr: SendWr) -> Result<(), VerbsError> {
-        let actions = self
-            .fabric
-            .rnic_mut(self.node)
-            .post_send(self.now, qp, wr)?;
-        apply_rnic_actions(self.fabric, self.q, self.node, self.now, actions);
+        let fabric = &mut *self.fabric;
+        let actions = fabric.rnics[self.node].post_send(self.now, qp, wr, &mut fabric.slab)?;
+        apply_rnic_actions(fabric, self.q, self.node, self.now, actions);
         Ok(())
     }
 
@@ -157,11 +159,10 @@ impl<'a> Ctx<'a> {
     ///
     /// If any work request fails validation, nothing is enqueued.
     pub fn post_send_batch(&mut self, qp: QpNum, wrs: Vec<SendWr>) -> Result<(), VerbsError> {
-        let actions = self
-            .fabric
-            .rnic_mut(self.node)
-            .post_send_batch(self.now, qp, wrs)?;
-        apply_rnic_actions(self.fabric, self.q, self.node, self.now, actions);
+        let fabric = &mut *self.fabric;
+        let actions =
+            fabric.rnics[self.node].post_send_batch(self.now, qp, wrs, &mut fabric.slab)?;
+        apply_rnic_actions(fabric, self.q, self.node, self.now, actions);
         Ok(())
     }
 
@@ -296,28 +297,36 @@ impl World for WorldState {
 
     fn handle(&mut self, now: SimTime, event: FabricEvent, q: &mut EventQueue<FabricEvent>) {
         if let Some(tracer) = &mut self.tracer {
+            // Copy the traced fields out of the slab before the handlers
+            // below consume the packet.
             match &event {
                 FabricEvent::SwitchPacket {
                     switch,
                     ingress,
                     packet,
-                } => tracer.record(
-                    now,
-                    TraceEvent::SwitchIngress {
-                        switch: *switch,
-                        ingress: *ingress,
-                        packet: packet.id,
-                        payload: packet.payload,
-                    },
-                ),
-                FabricEvent::RnicPacket { node, packet } => tracer.record(
-                    now,
-                    TraceEvent::HostArrival {
-                        node: *node,
-                        packet: packet.id,
-                        payload: packet.payload,
-                    },
-                ),
+                } => {
+                    let p = self.fabric.slab.get(*packet);
+                    tracer.record(
+                        now,
+                        TraceEvent::SwitchIngress {
+                            switch: *switch,
+                            ingress: *ingress,
+                            packet: p.id,
+                            payload: p.payload,
+                        },
+                    )
+                }
+                FabricEvent::RnicPacket { node, packet } => {
+                    let p = self.fabric.slab.get(*packet);
+                    tracer.record(
+                        now,
+                        TraceEvent::HostArrival {
+                            node: *node,
+                            packet: p.id,
+                            payload: p.payload,
+                        },
+                    )
+                }
                 FabricEvent::AppCqe { node, cqe } => tracer.record(
                     now,
                     TraceEvent::Completion {
@@ -328,30 +337,35 @@ impl World for WorldState {
                 _ => {}
             }
         }
+        // Split field borrows: the device gets `&mut` while the slab is
+        // read (or mutated) alongside it — both are disjoint fields of
+        // the fabric.
+        let fabric = &mut self.fabric;
         match event {
             FabricEvent::RnicWake(node) => {
-                let actions = self.fabric.rnics[node].wake(now);
-                apply_rnic_actions(&mut self.fabric, q, node, now, actions);
+                let actions = fabric.rnics[node].wake(now, &fabric.slab);
+                apply_rnic_actions(fabric, q, node, now, actions);
             }
             FabricEvent::RnicPacket { node, packet } => {
-                let actions = self.fabric.rnics[node].packet_arrival(now, packet);
-                apply_rnic_actions(&mut self.fabric, q, node, now, actions);
+                let actions = fabric.rnics[node].packet_arrival(now, packet, &mut fabric.slab);
+                apply_rnic_actions(fabric, q, node, now, actions);
             }
             FabricEvent::RnicCredit { node, vl, bytes } => {
-                let actions = self.fabric.rnics[node].credit_from_peer(now, vl, bytes);
-                apply_rnic_actions(&mut self.fabric, q, node, now, actions);
+                let actions = fabric.rnics[node].credit_from_peer(now, vl, bytes, &fabric.slab);
+                apply_rnic_actions(fabric, q, node, now, actions);
             }
             FabricEvent::SwitchPacket {
                 switch,
                 ingress,
                 packet,
             } => {
-                let actions = self.fabric.switches[switch].packet_arrival(now, ingress, packet);
-                apply_switch_actions(&mut self.fabric, q, switch, now, actions);
+                let actions =
+                    fabric.switches[switch].packet_arrival(now, ingress, packet, &fabric.slab);
+                apply_switch_actions(fabric, q, switch, now, actions);
             }
             FabricEvent::SwitchWake { switch, egress } => {
-                let actions = self.fabric.switches[switch].egress_wake(now, egress);
-                apply_switch_actions(&mut self.fabric, q, switch, now, actions);
+                let actions = fabric.switches[switch].egress_wake(now, egress);
+                apply_switch_actions(fabric, q, switch, now, actions);
             }
             FabricEvent::SwitchCredit {
                 switch,
@@ -360,8 +374,8 @@ impl World for WorldState {
                 bytes,
             } => {
                 let actions =
-                    self.fabric.switches[switch].credit_from_downstream(now, egress, vl, bytes);
-                apply_switch_actions(&mut self.fabric, q, switch, now, actions);
+                    fabric.switches[switch].credit_from_downstream(now, egress, vl, bytes);
+                apply_switch_actions(fabric, q, switch, now, actions);
             }
             FabricEvent::AppCqe { node, cqe } => {
                 self.with_app(node, now, q, |app, ctx| app.on_cqe(ctx, cqe));
@@ -415,12 +429,37 @@ pub struct Sim {
 /// to track simulator throughput (events/sec) per figure.
 static EVENTS_PROCESSED: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide high-water mark of live packets in any [`Sim`]'s slab.
+///
+/// Updated (with a relaxed `fetch_max`) at the end of every `run_*` call;
+/// the bench report records it as a peak-memory proxy for the packet
+/// arena.
+static SLAB_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of packet handles still live when a simulation
+/// reached quiescence — every count here is a leak: with no events left,
+/// no packet can still be in flight.
+static PACKETS_LEAKED: AtomicU64 = AtomicU64::new(0);
+
 /// Total events processed by all simulations in this process so far.
 ///
 /// Snapshot before and after a workload and subtract to attribute events
 /// to it (valid also when the workload runs on worker threads).
 pub fn events_processed_total() -> u64 {
     EVENTS_PROCESSED.load(Ordering::Relaxed)
+}
+
+/// Highest number of simultaneously live packets observed in any
+/// simulation's slab in this process.
+pub fn slab_high_water_total() -> u64 {
+    SLAB_HIGH_WATER.load(Ordering::Relaxed)
+}
+
+/// Total packet handles found still allocated at quiescence across all
+/// simulations in this process (must stay 0; anything else is a leak in
+/// the device models).
+pub fn packets_leaked_total() -> u64 {
+    PACKETS_LEAKED.load(Ordering::Relaxed)
 }
 
 impl Sim {
@@ -473,17 +512,35 @@ impl Sim {
     }
 
     /// Runs until the horizon (exclusive) or until the queue drains.
+    ///
+    /// Packets still in the slab afterwards are *not* counted as leaks:
+    /// stopping at a horizon legitimately strands in-flight traffic.
     pub fn run_until(&mut self, t: SimTime) {
         let before = self.q.popped();
         run(&mut self.world, &mut self.q, StopCondition::At(t));
         EVENTS_PROCESSED.fetch_add(self.q.popped() - before, Ordering::Relaxed);
+        SLAB_HIGH_WATER.fetch_max(
+            self.world.fabric.slab.high_water() as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Runs until the event queue drains completely.
+    ///
+    /// At quiescence no packet can still be in flight, so any handle left
+    /// in the slab is a leak; it is added to [`packets_leaked_total`].
     pub fn run_to_quiescence(&mut self) {
         let before = self.q.popped();
         run(&mut self.world, &mut self.q, StopCondition::QueueEmpty);
         EVENTS_PROCESSED.fetch_add(self.q.popped() - before, Ordering::Relaxed);
+        SLAB_HIGH_WATER.fetch_max(
+            self.world.fabric.slab.high_water() as u64,
+            Ordering::Relaxed,
+        );
+        let live = self.world.fabric.slab.live();
+        if live > 0 {
+            PACKETS_LEAKED.fetch_add(live as u64, Ordering::Relaxed);
+        }
     }
 
     /// Current simulated time.

@@ -29,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod arena;
 pub mod config;
 pub mod ids;
 pub mod units;
 pub mod wire;
 
+pub use arena::{PacketRef, PacketSlab};
 pub use config::ClusterConfig;
 pub use ids::{FlowId, Lid, MsgId, NodeId, PortId, QpNum, ServiceLevel, VirtualLane};
 pub use units::LinkRate;

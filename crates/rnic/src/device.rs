@@ -1,7 +1,9 @@
 //! The RNIC device state machine.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use rperf_model::arena::{PacketRef, PacketSlab};
 use rperf_model::config::{LinkConfig, RnicConfig};
 use rperf_model::ids::PacketId;
 use rperf_model::{
@@ -23,10 +25,11 @@ pub enum RnicAction {
         at: SimTime,
     },
     /// Begin transmitting `packet` on the port now; the last bit leaves
-    /// `serialize` from now.
+    /// `serialize` from now. The packet stays in the fabric's slab until
+    /// the destination RNIC consumes it.
     Transmit {
-        /// The packet.
-        packet: Packet,
+        /// Handle to the packet in the fabric's slab.
+        packet: PacketRef,
         /// Wire serialization time.
         serialize: SimDuration,
     },
@@ -73,10 +76,10 @@ pub struct RnicStats {
     pub loopbacks: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum PendingTx {
-    Data(VirtualLane, Packet),
-    Ack(Packet),
+    Data(VirtualLane, PacketRef, u64),
+    Ack(VirtualLane, PacketRef, u64),
 }
 
 /// The RNIC device.
@@ -85,11 +88,15 @@ enum PendingTx {
 /// [`Rnic::post_send_batch`] (host side), [`Rnic::packet_arrival`] /
 /// [`Rnic::credit_from_peer`] (wire side) and [`Rnic::wake`] (self-
 /// scheduled). See the crate docs for the modelled pipelines.
+///
+/// Outbound packets are allocated into the caller's [`PacketSlab`] at
+/// injection and travel the fabric as [`PacketRef`] handles; inbound
+/// packets are consumed out of the slab on arrival.
 #[derive(Debug)]
 pub struct Rnic {
     node: NodeId,
     lid: Lid,
-    cfg: RnicConfig,
+    cfg: Arc<RnicConfig>,
     data_rate: LinkRate,
     loop_rate: LinkRate,
     pcie_rate: LinkRate,
@@ -129,8 +136,17 @@ pub struct Rnic {
 }
 
 impl Rnic {
-    /// Builds an RNIC for `node` with address `lid`.
-    pub fn new(node: NodeId, lid: Lid, cfg: RnicConfig, link: &LinkConfig, rng: SimRng) -> Self {
+    /// Builds an RNIC for `node` with address `lid`. Accepts the device
+    /// configuration by value or pre-shared in an [`Arc`] — a fabric hands
+    /// every node the same allocation.
+    pub fn new(
+        node: NodeId,
+        lid: Lid,
+        cfg: impl Into<Arc<RnicConfig>>,
+        link: &LinkConfig,
+        rng: SimRng,
+    ) -> Self {
+        let cfg = cfg.into();
         let data_rate = link.data_rate();
         let vls = cfg.vls;
         Rnic {
@@ -244,6 +260,21 @@ impl Rnic {
         out.push(RnicAction::Wake { at });
     }
 
+    /// Schedules an outbound data packet: allocates it into the slab and
+    /// queues the handle with its lane and wire size.
+    fn schedule_data(
+        &mut self,
+        at: SimTime,
+        vl: VirtualLane,
+        packet: Packet,
+        slab: &mut PacketSlab,
+        out: &mut Vec<RnicAction>,
+    ) {
+        let wire = packet.wire_size();
+        let handle = slab.alloc(packet);
+        self.schedule_tx(at, PendingTx::Data(vl, handle, wire), out);
+    }
+
     /// Posts one send work request (one doorbell).
     ///
     /// # Errors
@@ -255,8 +286,9 @@ impl Rnic {
         now: SimTime,
         qp: QpNum,
         wr: SendWr,
+        slab: &mut PacketSlab,
     ) -> Result<Vec<RnicAction>, VerbsError> {
-        self.post_send_batch(now, qp, vec![wr])
+        self.post_send_batch(now, qp, vec![wr], slab)
     }
 
     /// Posts a batch of send work requests with a single doorbell —
@@ -275,6 +307,7 @@ impl Rnic {
         now: SimTime,
         qp_num: QpNum,
         wrs: Vec<SendWr>,
+        slab: &mut PacketSlab,
     ) -> Result<Vec<RnicAction>, VerbsError> {
         // Validate everything up front.
         for wr in &wrs {
@@ -290,7 +323,7 @@ impl Rnic {
                 .expect("unknown QP")
                 .pop_send()
                 .expect("just posted");
-            self.launch_wr(now, wqe_at, qp_num, wr, &mut out);
+            self.launch_wr(now, wqe_at, qp_num, wr, slab, &mut out);
         }
         Ok(out)
     }
@@ -302,6 +335,7 @@ impl Rnic {
         wqe_at: SimTime,
         qp_num: QpNum,
         wr: SendWr,
+        slab: &mut PacketSlab,
         out: &mut Vec<RnicAction>,
     ) {
         let n_packets = if wr.verb == Verb::Read {
@@ -353,7 +387,7 @@ impl Rnic {
                 injected_at: ready,
             };
             let vl = self.vl_of_sl(wr.sl);
-            self.schedule_tx(ready, PendingTx::Data(vl, packet), out);
+            self.schedule_data(ready, vl, packet, slab, out);
             return;
         }
 
@@ -392,7 +426,7 @@ impl Rnic {
                 injected_at: ready,
             };
             let vl = self.vl_of_sl(wr.sl);
-            self.schedule_tx(ready, PendingTx::Data(vl, packet), out);
+            self.schedule_data(ready, vl, packet, slab, out);
         }
     }
 
@@ -471,10 +505,10 @@ impl Rnic {
 
     /// A self-scheduled wake-up: moves ready packets to the injection
     /// queues and dispatches the wire.
-    pub fn wake(&mut self, now: SimTime) -> Vec<RnicAction> {
+    pub fn wake(&mut self, now: SimTime, slab: &PacketSlab) -> Vec<RnicAction> {
         let mut out = Vec::new();
         self.drain_pending(now);
-        self.dispatch(now, &mut out);
+        self.dispatch(now, slab, &mut out);
         out
     }
 
@@ -483,39 +517,40 @@ impl Rnic {
         for t in due {
             for item in self.pending_tx.remove(&t).expect("key present") {
                 match item {
-                    PendingTx::Data(vl, p) => self.txq.push_data(vl, p),
-                    PendingTx::Ack(p) => self.txq.push_ack(p),
+                    PendingTx::Data(vl, h, wire) => self.txq.push_data(vl, h, wire),
+                    PendingTx::Ack(vl, h, wire) => self.txq.push_ack(h, vl, wire),
                 }
             }
         }
     }
 
-    fn dispatch(&mut self, now: SimTime, out: &mut Vec<RnicAction>) {
+    fn dispatch(&mut self, now: SimTime, slab: &PacketSlab, out: &mut Vec<RnicAction>) {
         if self.wire_free > now {
             if !self.txq.is_empty() {
                 out.push(RnicAction::Wake { at: self.wire_free });
             }
             return;
         }
-        let sl2vl = self.cfg.sl2vl;
         let credits = &mut self.peer_credits;
-        let picked = self.txq.pop_next(
-            |p| sl2vl.vl_for(p.sl),
-            |vl, bytes| credits.can_send(vl, bytes),
-        );
-        let Some((packet, vl)) = picked else {
+        let picked = self.txq.pop_next(|vl, bytes| credits.can_send(vl, bytes));
+        let Some((packet, vl, size)) = picked else {
             return;
         };
-        let size = packet.wire_size();
         let consumed = self.peer_credits.consume(vl, size);
         debug_assert!(consumed, "pop_next filtered by credits");
         let serialize = self.data_rate.serialize_time(size);
         let wire_done = now + serialize;
         self.wire_free = wire_done + self.cfg.tx_ipg;
+        // One slab read per transmitted packet (stats + the UD completion
+        // check); arbitration and credit gating above never touch it.
+        let (payload, kind, msg) = {
+            let p = slab.get(packet);
+            (p.payload, p.kind, p.msg)
+        };
         self.stats.tx_packets += 1;
         self.stats.tx_wire_bytes += size;
-        self.stats.tx_payload_bytes += packet.payload;
-        if matches!(packet.kind, PacketKind::Ack) {
+        self.stats.tx_payload_bytes += payload;
+        if matches!(kind, PacketKind::Ack) {
             self.stats.acks_sent += 1;
         }
 
@@ -524,9 +559,9 @@ impl Rnic {
             transport: Transport::Ud,
             last: true,
             ..
-        } = packet.kind
+        } = kind
         {
-            self.complete_requester(packet.msg, wire_done, out);
+            self.complete_requester(msg, wire_done, out);
         }
 
         out.push(RnicAction::Transmit { packet, serialize });
@@ -561,16 +596,24 @@ impl Rnic {
         now: SimTime,
         vl: VirtualLane,
         bytes: u64,
+        slab: &PacketSlab,
     ) -> Vec<RnicAction> {
         self.peer_credits.replenish(vl, bytes);
         let mut out = Vec::new();
         self.drain_pending(now);
-        self.dispatch(now, &mut out);
+        self.dispatch(now, slab, &mut out);
         out
     }
 
-    /// A packet's last bit arrived from the wire at `now`.
-    pub fn packet_arrival(&mut self, now: SimTime, packet: Packet) -> Vec<RnicAction> {
+    /// A packet's last bit arrived from the wire at `now`. The RNIC is the
+    /// packet's final consumer: the handle is freed out of the slab here.
+    pub fn packet_arrival(
+        &mut self,
+        now: SimTime,
+        packet: PacketRef,
+        slab: &mut PacketSlab,
+    ) -> Vec<RnicAction> {
+        let packet = slab.free(packet);
         let mut out = Vec::new();
         let rx_jitter = match &self.cfg.rx_jitter {
             Some(j) => j.sample(&mut self.rng),
@@ -596,7 +639,7 @@ impl Rnic {
                 self.complete_requester(packet.msg, done_at, &mut out);
             }
             PacketKind::ReadRequest { bytes } => {
-                self.respond_to_read(rx_done, &packet, bytes, &mut out);
+                self.respond_to_read(rx_done, &packet, bytes, slab, &mut out);
             }
             PacketKind::Data {
                 verb,
@@ -620,7 +663,7 @@ impl Rnic {
                     self.complete_requester(packet.msg, landed, &mut out);
                     return out;
                 }
-                self.deliver_to_responder(rx_done, &packet, verb, transport, total, &mut out);
+                self.deliver_to_responder(rx_done, &packet, verb, transport, total, slab, &mut out);
             }
         }
         out
@@ -631,6 +674,7 @@ impl Rnic {
         rx_done: SimTime,
         request: &Packet,
         bytes: u64,
+        slab: &mut PacketSlab,
         out: &mut Vec<RnicAction>,
     ) {
         // Responder-side DMA read, then hardware-generated response data
@@ -665,10 +709,11 @@ impl Rnic {
                 injected_at: ready,
             };
             let vl = self.vl_of_sl(request.sl);
-            self.schedule_tx(ready, PendingTx::Data(vl, response), out);
+            self.schedule_data(ready, vl, response, slab, out);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn deliver_to_responder(
         &mut self,
         rx_done: SimTime,
@@ -676,6 +721,7 @@ impl Rnic {
         verb: Verb,
         transport: Transport,
         total: u64,
+        slab: &mut PacketSlab,
         out: &mut Vec<RnicAction>,
     ) {
         let dma_done = (rx_done + self.cfg.dma_write_latency + self.pcie_time(total))
@@ -710,7 +756,10 @@ impl Rnic {
                 overhead: self.cfg.headers.ack_overhead(),
                 injected_at: ack_at,
             };
-            self.schedule_tx(ack_at, PendingTx::Ack(ack), out);
+            let vl = self.vl_of_sl(packet.sl);
+            let wire = ack.wire_size();
+            let handle = slab.alloc(ack);
+            self.schedule_tx(ack_at, PendingTx::Ack(vl, handle, wire), out);
         }
 
         if verb == Verb::Send {
@@ -760,9 +809,12 @@ mod tests {
     use std::collections::BinaryHeap;
 
     /// A tiny pump that feeds an RNIC its own wakes and collects the
-    /// externally visible actions.
+    /// externally visible actions. Owns the packet slab, playing the
+    /// fabric's role: transmitted packets are consumed out of the slab
+    /// immediately (the "wire" here is the test itself).
     struct Pump {
         rnic: Rnic,
+        slab: PacketSlab,
         wakes: BinaryHeap<Reverse<u64>>,
         transmitted: Vec<(SimTime, Packet, SimDuration)>,
         completions: Vec<Cqe>,
@@ -780,6 +832,7 @@ mod tests {
                     &cfg.link,
                     SimRng::new(node as u64),
                 ),
+                slab: PacketSlab::new(),
                 wakes: BinaryHeap::new(),
                 transmitted: Vec::new(),
                 completions: Vec::new(),
@@ -792,7 +845,8 @@ mod tests {
                 match a {
                     RnicAction::Wake { at } => self.wakes.push(Reverse(at.as_ps())),
                     RnicAction::Transmit { packet, serialize } => {
-                        self.transmitted.push((now, packet, serialize))
+                        let pkt = self.slab.free(packet);
+                        self.transmitted.push((now, pkt, serialize))
                     }
                     RnicAction::Complete { cqe } => self.completions.push(cqe),
                     RnicAction::ReturnCredit { vl, bytes, after } => {
@@ -800,6 +854,21 @@ mod tests {
                     }
                 }
             }
+        }
+
+        /// Posts a send WR, feeding the resulting actions back in.
+        fn post(&mut self, now: SimTime, qp: QpNum, wr: SendWr) -> Result<(), VerbsError> {
+            let actions = self.rnic.post_send(now, qp, wr, &mut self.slab)?;
+            self.absorb(now, actions);
+            Ok(())
+        }
+
+        /// Delivers a packet from the wire (allocating it into this pump's
+        /// slab, as the fabric would have it resident there).
+        fn deliver(&mut self, now: SimTime, packet: Packet) {
+            let handle = self.slab.alloc(packet);
+            let actions = self.rnic.packet_arrival(now, handle, &mut self.slab);
+            self.absorb(now, actions);
         }
 
         /// Runs wakes until quiescent; returns the last processed time.
@@ -811,7 +880,7 @@ mod tests {
                 assert!(guard < 100_000, "wake storm");
                 let t = SimTime::from_ps(ps);
                 last = t;
-                let actions = self.rnic.wake(t);
+                let actions = self.rnic.wake(t, &self.slab);
                 self.absorb(t, actions);
             }
             last
@@ -827,8 +896,7 @@ mod tests {
         let mut p = Pump::new(1);
         let qp = p.rnic.create_qp(Transport::Rc);
         let t0 = SimTime::from_ns(1000);
-        let actions = p.rnic.post_send(t0, qp, send_wr(1, 64, 2)).unwrap();
-        p.absorb(t0, actions);
+        p.post(t0, qp, send_wr(1, 64, 2)).unwrap();
         p.run();
         assert_eq!(p.transmitted.len(), 1);
         let (at, packet, _) = &p.transmitted[0];
@@ -838,6 +906,7 @@ mod tests {
         assert_eq!(*at, expected, "got {at}, expected {expected}");
         assert_eq!(packet.payload, 64);
         assert!(packet.kind.is_last_data());
+        assert!(p.slab.is_empty(), "transmitted packets leave the slab");
     }
 
     #[test]
@@ -845,8 +914,7 @@ mod tests {
         let mut p = Pump::new(1);
         let qp = p.rnic.create_qp(Transport::Rc);
         let t0 = SimTime::ZERO;
-        let actions = p.rnic.post_send(t0, qp, send_wr(1, 4096, 2)).unwrap();
-        p.absorb(t0, actions);
+        p.post(t0, qp, send_wr(1, 4096, 2)).unwrap();
         p.run();
         let (at, _, _) = &p.transmitted[0];
         let cfg = p.rnic.config();
@@ -862,11 +930,7 @@ mod tests {
     fn multi_packet_message_respects_mtu() {
         let mut p = Pump::new(1);
         let qp = p.rnic.create_qp(Transport::Rc);
-        let actions = p
-            .rnic
-            .post_send(SimTime::ZERO, qp, send_wr(1, 10_000, 2))
-            .unwrap();
-        p.absorb(SimTime::ZERO, actions);
+        p.post(SimTime::ZERO, qp, send_wr(1, 10_000, 2)).unwrap();
         p.run();
         assert_eq!(p.transmitted.len(), 3);
         let payloads: Vec<u64> = p.transmitted.iter().map(|(_, pk, _)| pk.payload).collect();
@@ -884,7 +948,10 @@ mod tests {
         let mut p = Pump::new(1);
         let qp = p.rnic.create_qp(Transport::Rc);
         let wrs: Vec<SendWr> = (0..50).map(|i| send_wr(i, 64, 2)).collect();
-        let actions = p.rnic.post_send_batch(SimTime::ZERO, qp, wrs).unwrap();
+        let actions = p
+            .rnic
+            .post_send_batch(SimTime::ZERO, qp, wrs, &mut p.slab)
+            .unwrap();
         p.absorb(SimTime::ZERO, actions);
         p.run();
         assert_eq!(p.transmitted.len(), 50);
@@ -908,14 +975,12 @@ mod tests {
 
         let t0 = SimTime::ZERO;
         let wr = SendWr::new(WrId(1), Verb::Send, 64).to(Lid::new(2), qp_b);
-        let actions = a.rnic.post_send(t0, qp_a, wr).unwrap();
-        a.absorb(t0, actions);
+        a.post(t0, qp_a, wr).unwrap();
         a.run();
         let (tx_at, packet, ser) = a.transmitted[0].clone();
         // Deliver last bit to B.
         let arrival = tx_at + ser + SimDuration::from_ns(5);
-        let actions = b.rnic.packet_arrival(arrival, packet);
-        b.absorb(arrival, actions);
+        b.deliver(arrival, packet);
         b.run();
         // B produced a Recv completion and an ACK on the wire.
         assert!(b
@@ -937,14 +1002,14 @@ mod tests {
 
         // Return the ACK to A: the send WR completes.
         let ack_arrival = ack_at + ack_ser + SimDuration::from_ns(5);
-        let actions = a.rnic.packet_arrival(ack_arrival, ack);
-        a.absorb(ack_arrival, actions);
+        a.deliver(ack_arrival, ack);
         a.run();
         assert!(a
             .completions
             .iter()
             .any(|c| c.opcode == CqeOpcode::Send && c.wr_id == WrId(1)));
         assert_eq!(a.rnic.qp(qp_a).outstanding(), 0);
+        assert!(a.slab.is_empty() && b.slab.is_empty(), "no leaked handles");
     }
 
     #[test]
@@ -971,8 +1036,7 @@ mod tests {
             injected_at: SimTime::ZERO,
         };
         let t = SimTime::from_ns(100);
-        let actions = b.rnic.packet_arrival(t, packet.clone());
-        b.absorb(t, actions);
+        b.deliver(t, packet.clone());
         b.run();
         let (write_ack_at, _, _) = b
             .transmitted
@@ -993,8 +1057,7 @@ mod tests {
             last: true,
         };
         send_packet.dst = Lid::new(3);
-        let actions = b2.rnic.packet_arrival(t, send_packet);
-        b2.absorb(t, actions);
+        b2.deliver(t, send_packet);
         b2.run();
         let (send_ack_at, _, _) = b2
             .transmitted
@@ -1021,8 +1084,7 @@ mod tests {
         let mut p = Pump::new(1);
         let qp = p.rnic.create_qp(Transport::Ud);
         let t0 = SimTime::ZERO;
-        let actions = p.rnic.post_send(t0, qp, send_wr(1, 64, 2)).unwrap();
-        p.absorb(t0, actions);
+        p.post(t0, qp, send_wr(1, 64, 2)).unwrap();
         p.run();
         // Completion exists even though no ACK ever arrived.
         let cqe = p
@@ -1045,8 +1107,7 @@ mod tests {
         b.rnic.create_qp(Transport::Rc);
 
         let wr = SendWr::new(WrId(1), Verb::Read, 4096).to(Lid::new(2), QpNum::new(1));
-        let actions = a.rnic.post_send(SimTime::ZERO, qp_a, wr).unwrap();
-        a.absorb(SimTime::ZERO, actions);
+        a.post(SimTime::ZERO, qp_a, wr).unwrap();
         a.run();
         let (t, request, ser) = a.transmitted[0].clone();
         assert!(matches!(
@@ -1057,16 +1118,14 @@ mod tests {
 
         // Responder turns the request into response data.
         let arrival = t + ser + SimDuration::from_ns(5);
-        let actions = b.rnic.packet_arrival(arrival, request);
-        b.absorb(arrival, actions);
+        b.deliver(arrival, request);
         b.run();
         let (rt, response, rser) = b.transmitted[0].clone();
         assert_eq!(response.payload, 4096);
 
         // Requester completes once the data lands.
         let back = rt + rser + SimDuration::from_ns(5);
-        let actions = a.rnic.packet_arrival(back, response);
-        a.absorb(back, actions);
+        a.deliver(back, response);
         a.run();
         let cqe = a
             .completions
@@ -1083,10 +1142,10 @@ mod tests {
         let qp = p.rnic.create_qp(Transport::Rc);
         p.rnic.post_recv(qp, RecvWr::new(WrId(50), 64));
         let wr = send_wr(1, 64, 1).via_loopback();
-        let actions = p.rnic.post_send(SimTime::ZERO, qp, wr).unwrap();
-        p.absorb(SimTime::ZERO, actions);
+        p.post(SimTime::ZERO, qp, wr).unwrap();
         p.run();
         assert!(p.transmitted.is_empty(), "loopback must not transmit");
+        assert!(p.slab.is_empty(), "loopback allocates no wire packets");
         assert!(p
             .completions
             .iter()
@@ -1104,11 +1163,8 @@ mod tests {
         // wire RTT would: this is the margin RPerf's subtraction measures.
         let mut p = Pump::new(1);
         let qp = p.rnic.create_qp(Transport::Rc);
-        let actions = p
-            .rnic
-            .post_send(SimTime::ZERO, qp, send_wr(1, 4096, 1).via_loopback())
+        p.post(SimTime::ZERO, qp, send_wr(1, 4096, 1).via_loopback())
             .unwrap();
-        p.absorb(SimTime::ZERO, actions);
         p.run();
         let send_cqe = p
             .completions
@@ -1136,16 +1192,22 @@ mod tests {
         p.rnic.set_peer_credits(CreditLedger::new(9, 4_148));
         let qp = p.rnic.create_qp(Transport::Rc);
         let wrs = vec![send_wr(1, 4096, 2), send_wr(2, 4096, 2)];
-        let actions = p.rnic.post_send_batch(SimTime::ZERO, qp, wrs).unwrap();
+        let actions = p
+            .rnic
+            .post_send_batch(SimTime::ZERO, qp, wrs, &mut p.slab)
+            .unwrap();
         p.absorb(SimTime::ZERO, actions);
         p.run();
         assert_eq!(p.transmitted.len(), 1, "only one credit grant available");
 
         let t = SimTime::from_us(100);
-        let actions = p.rnic.credit_from_peer(t, VirtualLane::new(0), 4_148);
+        let actions = p
+            .rnic
+            .credit_from_peer(t, VirtualLane::new(0), 4_148, &p.slab);
         p.absorb(t, actions);
         p.run();
         assert_eq!(p.transmitted.len(), 2);
+        assert!(p.slab.is_empty(), "both packets consumed off the slab");
     }
 
     #[test]
@@ -1171,8 +1233,7 @@ mod tests {
             injected_at: SimTime::ZERO,
         };
         let t = SimTime::from_ns(10);
-        let actions = p.rnic.packet_arrival(t, packet);
-        p.absorb(t, actions);
+        p.deliver(t, packet);
         assert_eq!(p.credits_returned.len(), 1);
         let (when, vl, bytes) = p.credits_returned[0];
         assert_eq!(vl, VirtualLane::new(0));
@@ -1185,10 +1246,11 @@ mod tests {
         let mut p = Pump::new(1);
         let qp = p.rnic.create_qp(Transport::Ud);
         let bad = SendWr::new(WrId(1), Verb::Write, 64).to(Lid::new(2), QpNum::new(1));
-        let err = p.rnic.post_send(SimTime::ZERO, qp, bad).unwrap_err();
+        let err = p.post(SimTime::ZERO, qp, bad).unwrap_err();
         assert!(matches!(err, VerbsError::InvalidVerbForTransport { .. }));
         p.run();
         assert!(p.transmitted.is_empty());
+        assert!(p.slab.is_empty());
         assert_eq!(p.rnic.qp(qp).outstanding(), 0);
     }
 }

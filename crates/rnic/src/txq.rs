@@ -2,7 +2,17 @@
 
 use std::collections::VecDeque;
 
-use rperf_model::{Packet, VirtualLane};
+use rperf_model::{PacketRef, VirtualLane};
+
+/// One queued packet: a slab handle plus the metadata the injection scan
+/// needs (lane and wire size), cached at enqueue so credit checks never
+/// touch the packet slab.
+#[derive(Debug, Clone, Copy)]
+struct TxEntry {
+    packet: PacketRef,
+    vl: VirtualLane,
+    wire: u64,
+}
 
 /// The RNIC's wire-injection stage: a high-priority ACK queue plus one
 /// FIFO per virtual lane for data packets.
@@ -12,6 +22,9 @@ use rperf_model::{Packet, VirtualLane};
 /// Data VLs are served round-robin among those with queued packets (a
 /// single node rarely drives more than one VL, but the pretend-LSG
 /// experiments make a node carry both SL0 and SL1 flows).
+///
+/// Packets live in the fabric's `PacketSlab`; the queues hold copyable
+/// handles with the VL and wire size resolved at enqueue time.
 ///
 /// # Examples
 ///
@@ -24,8 +37,8 @@ use rperf_model::{Packet, VirtualLane};
 /// ```
 #[derive(Debug, Clone)]
 pub struct TxQueue {
-    acks: VecDeque<Packet>,
-    data: Vec<VecDeque<Packet>>,
+    acks: VecDeque<TxEntry>,
+    data: Vec<VecDeque<TxEntry>>,
     cursor: usize,
 }
 
@@ -39,9 +52,10 @@ impl TxQueue {
         }
     }
 
-    /// Queues an ACK/control packet (highest priority).
-    pub fn push_ack(&mut self, packet: Packet) {
-        self.acks.push_back(packet);
+    /// Queues an ACK/control packet (highest priority). `vl` is the lane
+    /// its flow's service level maps to; `wire` its full wire size.
+    pub fn push_ack(&mut self, packet: PacketRef, vl: VirtualLane, wire: u64) {
+        self.acks.push_back(TxEntry { packet, vl, wire });
     }
 
     /// Queues a data packet on its virtual lane.
@@ -49,8 +63,8 @@ impl TxQueue {
     /// # Panics
     ///
     /// Panics if `vl` is beyond the configured lane count.
-    pub fn push_data(&mut self, vl: VirtualLane, packet: Packet) {
-        self.data[vl.index()].push_back(packet);
+    pub fn push_data(&mut self, vl: VirtualLane, packet: PacketRef, wire: u64) {
+        self.data[vl.index()].push_back(TxEntry { packet, vl, wire });
     }
 
     /// Total queued packets.
@@ -66,31 +80,26 @@ impl TxQueue {
     /// Picks the next packet to inject: the oldest ACK if any, otherwise a
     /// round-robin scan of data VLs.
     ///
-    /// `vl_of` maps a packet to the VL it travels on (the caller's SL2VL
-    /// table; used for ACKs, whose lane follows their flow's service
-    /// level). `credit_ok(vl, wire_bytes)` consults the caller's credit
-    /// ledger. Returns the packet and its VL.
-    pub fn pop_next<V, F>(&mut self, vl_of: V, mut credit_ok: F) -> Option<(Packet, VirtualLane)>
+    /// `credit_ok(vl, wire_bytes)` consults the caller's credit ledger.
+    /// Returns the packet handle, its VL and its wire size.
+    pub fn pop_next<F>(&mut self, mut credit_ok: F) -> Option<(PacketRef, VirtualLane, u64)>
     where
-        V: Fn(&Packet) -> VirtualLane,
         F: FnMut(VirtualLane, u64) -> bool,
     {
         if let Some(front) = self.acks.front() {
-            let vl = vl_of(front);
-            if credit_ok(vl, front.wire_size()) {
-                let p = self.acks.pop_front().expect("front exists");
-                return Some((p, vl));
+            if credit_ok(front.vl, front.wire) {
+                let e = self.acks.pop_front().expect("front exists");
+                return Some((e.packet, e.vl, e.wire));
             }
         }
         let lanes = self.data.len();
         for step in 0..lanes {
             let i = (self.cursor + step) % lanes;
             if let Some(front) = self.data[i].front() {
-                let vl = VirtualLane::new(i as u8);
-                if credit_ok(vl, front.wire_size()) {
-                    let p = self.data[i].pop_front().expect("front exists");
+                if credit_ok(front.vl, front.wire) {
+                    let e = self.data[i].pop_front().expect("front exists");
                     self.cursor = (i + 1) % lanes;
-                    return Some((p, vl));
+                    return Some((e.packet, e.vl, e.wire));
                 }
             }
         }
@@ -111,8 +120,11 @@ impl TxQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rperf_model::arena::PacketSlab;
     use rperf_model::ids::PacketId;
-    use rperf_model::{FlowId, Lid, MsgId, PacketKind, QpNum, ServiceLevel, Transport, Verb};
+    use rperf_model::{
+        FlowId, Lid, MsgId, Packet, PacketKind, QpNum, ServiceLevel, Transport, Verb,
+    };
     use rperf_sim::SimTime;
 
     fn pkt(id: u64, kind: PacketKind) -> Packet {
@@ -143,80 +155,99 @@ mod tests {
         )
     }
 
-    fn vl0_of(_: &Packet) -> VirtualLane {
-        VirtualLane::new(0)
+    fn push_data(q: &mut TxQueue, slab: &mut PacketSlab, vl: u8, p: Packet) {
+        let wire = p.wire_size();
+        let h = slab.alloc(p);
+        q.push_data(VirtualLane::new(vl), h, wire);
+    }
+
+    fn push_ack(q: &mut TxQueue, slab: &mut PacketSlab, p: Packet) {
+        let wire = p.wire_size();
+        let h = slab.alloc(p);
+        q.push_ack(h, VirtualLane::new(0), wire);
     }
 
     #[test]
     fn acks_jump_the_data_queue() {
+        let mut slab = PacketSlab::new();
         let mut q = TxQueue::new(2);
-        q.push_data(VirtualLane::new(0), data(1));
-        q.push_ack(pkt(2, PacketKind::Ack));
-        let (p, vl) = q.pop_next(vl0_of, |_, _| true).unwrap();
-        assert_eq!(p.id, PacketId::new(2));
+        push_data(&mut q, &mut slab, 0, data(1));
+        push_ack(&mut q, &mut slab, pkt(2, PacketKind::Ack));
+        let (h, vl, _) = q.pop_next(|_, _| true).unwrap();
+        assert_eq!(slab.get(h).id, PacketId::new(2));
         assert_eq!(vl, VirtualLane::new(0));
     }
 
     #[test]
     fn data_round_robin_across_vls() {
+        let mut slab = PacketSlab::new();
         let mut q = TxQueue::new(2);
         for i in 0..2 {
-            q.push_data(VirtualLane::new(0), data(i));
-            q.push_data(VirtualLane::new(1), data(10 + i));
+            push_data(&mut q, &mut slab, 0, data(i));
+            push_data(&mut q, &mut slab, 1, data(10 + i));
         }
         let mut order = Vec::new();
-        while let Some((p, _)) = q.pop_next(vl0_of, |_, _| true) {
-            order.push(p.id.raw());
+        while let Some((h, _, _)) = q.pop_next(|_, _| true) {
+            order.push(slab.get(h).id.raw());
         }
         assert_eq!(order, vec![0, 10, 1, 11]);
     }
 
     #[test]
     fn credits_can_veto_a_lane() {
+        let mut slab = PacketSlab::new();
         let mut q = TxQueue::new(2);
-        q.push_data(VirtualLane::new(0), data(1));
-        q.push_data(VirtualLane::new(1), data(2));
+        push_data(&mut q, &mut slab, 0, data(1));
+        push_data(&mut q, &mut slab, 1, data(2));
         // Only VL1 has credits.
-        let (p, vl) = q
-            .pop_next(vl0_of, |vl, _| vl == VirtualLane::new(1))
-            .unwrap();
-        assert_eq!(p.id, PacketId::new(2));
+        let (h, vl, _) = q.pop_next(|vl, _| vl == VirtualLane::new(1)).unwrap();
+        assert_eq!(slab.get(h).id, PacketId::new(2));
         assert_eq!(vl, VirtualLane::new(1));
         // VL0 still blocked: nothing to pop.
-        assert!(q
-            .pop_next(vl0_of, |vl, _| vl == VirtualLane::new(1))
-            .is_none());
+        assert!(q.pop_next(|vl, _| vl == VirtualLane::new(1)).is_none());
         assert_eq!(q.data_depth(VirtualLane::new(0)), 1);
     }
 
     #[test]
     fn blocked_ack_blocks_nothing_else_on_other_lane() {
         // An ACK on a credit-starved VL0 must not stop VL1 data.
+        let mut slab = PacketSlab::new();
         let mut q = TxQueue::new(2);
-        q.push_ack(pkt(1, PacketKind::Ack));
-        q.push_data(VirtualLane::new(1), data(2));
-        let (p, _) = q
-            .pop_next(vl0_of, |vl, _| vl == VirtualLane::new(1))
-            .unwrap();
-        assert_eq!(p.id, PacketId::new(2));
+        push_ack(&mut q, &mut slab, pkt(1, PacketKind::Ack));
+        push_data(&mut q, &mut slab, 1, data(2));
+        let (h, _, _) = q.pop_next(|vl, _| vl == VirtualLane::new(1)).unwrap();
+        assert_eq!(slab.get(h).id, PacketId::new(2));
         assert_eq!(q.ack_depth(), 1);
     }
 
     #[test]
     fn empty_pop_is_none() {
         let mut q = TxQueue::new(1);
-        assert!(q.pop_next(vl0_of, |_, _| true).is_none());
+        assert!(q.pop_next(|_, _| true).is_none());
         assert!(q.is_empty());
     }
 
     #[test]
     fn depth_queries() {
+        let mut slab = PacketSlab::new();
         let mut q = TxQueue::new(2);
-        q.push_ack(pkt(1, PacketKind::Ack));
-        q.push_data(VirtualLane::new(1), data(2));
+        push_ack(&mut q, &mut slab, pkt(1, PacketKind::Ack));
+        push_data(&mut q, &mut slab, 1, data(2));
         assert_eq!(q.ack_depth(), 1);
         assert_eq!(q.data_depth(VirtualLane::new(1)), 1);
         assert_eq!(q.data_depth(VirtualLane::new(0)), 0);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_reports_cached_wire_size() {
+        let mut slab = PacketSlab::new();
+        let mut q = TxQueue::new(1);
+        let p = data(1);
+        let expect = p.wire_size();
+        push_data(&mut q, &mut slab, 0, p);
+        let (h, _, wire) = q.pop_next(|_, _| true).unwrap();
+        assert_eq!(wire, expect);
+        assert_eq!(slab.get(h).wire_size(), expect);
     }
 }

@@ -2,6 +2,7 @@
 //! packetization, wire ordering and engine pacing.
 
 use proptest::prelude::*;
+use rperf_model::arena::PacketSlab;
 use rperf_model::{ClusterConfig, Lid, NodeId, Packet, QpNum, Transport, Verb};
 use rperf_rnic::{Rnic, RnicAction};
 use rperf_sim::{SimDuration, SimRng, SimTime};
@@ -9,29 +10,36 @@ use rperf_verbs::{SendWr, WrId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-fn pump(rnic: &mut Rnic, first: Vec<RnicAction>) -> Vec<(SimTime, Packet, SimDuration)> {
+fn pump(
+    rnic: &mut Rnic,
+    slab: &mut PacketSlab,
+    first: Vec<RnicAction>,
+) -> Vec<(SimTime, Packet, SimDuration)> {
     let mut wakes: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
     let mut transmitted = Vec::new();
     let absorb = |actions: Vec<RnicAction>,
                   now: SimTime,
+                  slab: &mut PacketSlab,
                   wakes: &mut BinaryHeap<Reverse<u64>>,
                   out: &mut Vec<(SimTime, Packet, SimDuration)>| {
         for a in actions {
             match a {
                 RnicAction::Wake { at } => wakes.push(Reverse(at.as_ps())),
-                RnicAction::Transmit { packet, serialize } => out.push((now, packet, serialize)),
+                RnicAction::Transmit { packet, serialize } => {
+                    out.push((now, slab.free(packet), serialize))
+                }
                 _ => {}
             }
         }
     };
-    absorb(first, SimTime::ZERO, &mut wakes, &mut transmitted);
+    absorb(first, SimTime::ZERO, slab, &mut wakes, &mut transmitted);
     let mut guard = 0;
     while let Some(Reverse(ps)) = wakes.pop() {
         guard += 1;
         assert!(guard < 200_000, "wake storm");
         let t = SimTime::from_ps(ps);
-        let actions = rnic.wake(t);
-        absorb(actions, t, &mut wakes, &mut transmitted);
+        let actions = rnic.wake(t, slab);
+        absorb(actions, t, slab, &mut wakes, &mut transmitted);
     }
     transmitted
 }
@@ -55,6 +63,7 @@ proptest! {
     #[test]
     fn packetization_conserves_payload(payloads in prop::collection::vec(1u64..100_000, 1..20)) {
         let mut rnic = rnic_under_test();
+        let mut slab = PacketSlab::new();
         let qp = rnic.create_qp(Transport::Rc);
         let total: u64 = payloads.iter().sum();
         let n_msgs = payloads.len();
@@ -63,8 +72,9 @@ proptest! {
             .enumerate()
             .map(|(i, &p)| SendWr::new(WrId(i as u64), Verb::Send, p).to(Lid::new(2), QpNum::new(1)))
             .collect();
-        let actions = rnic.post_send_batch(SimTime::ZERO, qp, wrs).unwrap();
-        let transmitted = pump(&mut rnic, actions);
+        let actions = rnic.post_send_batch(SimTime::ZERO, qp, wrs, &mut slab).unwrap();
+        let transmitted = pump(&mut rnic, &mut slab, actions);
+        prop_assert!(slab.is_empty(), "every injected packet leaves the slab");
 
         let mtu = rnic.config().mtu;
         let sent: u64 = transmitted.iter().map(|(_, p, _)| p.payload).sum();
@@ -85,14 +95,15 @@ proptest! {
     #[test]
     fn wire_is_serial_and_ordered(payloads in prop::collection::vec(1u64..8_192, 2..30)) {
         let mut rnic = rnic_under_test();
+        let mut slab = PacketSlab::new();
         let qp = rnic.create_qp(Transport::Rc);
         let wrs: Vec<SendWr> = payloads
             .iter()
             .enumerate()
             .map(|(i, &p)| SendWr::new(WrId(i as u64), Verb::Send, p).to(Lid::new(2), QpNum::new(1)))
             .collect();
-        let actions = rnic.post_send_batch(SimTime::ZERO, qp, wrs).unwrap();
-        let transmitted = pump(&mut rnic, actions);
+        let actions = rnic.post_send_batch(SimTime::ZERO, qp, wrs, &mut slab).unwrap();
+        let transmitted = pump(&mut rnic, &mut slab, actions);
 
         for pair in transmitted.windows(2) {
             let (t0, _, s0) = &pair[0];
@@ -112,12 +123,13 @@ proptest! {
     #[test]
     fn engine_rate_cap_holds(count in 2usize..100) {
         let mut rnic = rnic_under_test();
+        let mut slab = PacketSlab::new();
         let qp = rnic.create_qp(Transport::Rc);
         let wrs: Vec<SendWr> = (0..count)
             .map(|i| SendWr::new(WrId(i as u64), Verb::Send, 64).to(Lid::new(2), QpNum::new(1)))
             .collect();
-        let actions = rnic.post_send_batch(SimTime::ZERO, qp, wrs).unwrap();
-        let transmitted = pump(&mut rnic, actions);
+        let actions = rnic.post_send_batch(SimTime::ZERO, qp, wrs, &mut slab).unwrap();
+        let transmitted = pump(&mut rnic, &mut slab, actions);
         prop_assert_eq!(transmitted.len(), count);
         let engine = rnic.config().engine_time(1);
         let span = transmitted.last().unwrap().0 - transmitted.first().unwrap().0;
@@ -131,13 +143,15 @@ proptest! {
     #[test]
     fn loopback_stays_internal(payload in 1u64..1_000_000) {
         let mut rnic = rnic_under_test();
+        let mut slab = PacketSlab::new();
         let qp = rnic.create_qp(Transport::Rc);
         let wr = SendWr::new(WrId(0), Verb::Send, payload)
             .to(Lid::new(1), qp)
             .via_loopback();
-        let actions = rnic.post_send(SimTime::ZERO, qp, wr).unwrap();
-        let transmitted = pump(&mut rnic, actions);
+        let actions = rnic.post_send(SimTime::ZERO, qp, wr, &mut slab).unwrap();
+        let transmitted = pump(&mut rnic, &mut slab, actions);
         prop_assert!(transmitted.is_empty());
+        prop_assert!(slab.is_empty());
         prop_assert_eq!(rnic.stats().loopbacks, 1);
     }
 }

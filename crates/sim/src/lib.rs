@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod reference;
 mod rng;
 mod run;
 mod time;

@@ -2,14 +2,23 @@
 
 use std::collections::VecDeque;
 
-use rperf_model::Packet;
+use rperf_model::{PacketRef, PortId};
 use rperf_sim::SimTime;
 
 /// One buffered packet with its switch-local metadata.
-#[derive(Debug, Clone)]
+///
+/// The packet itself lives in the fabric's `PacketSlab`; the buffer holds a
+/// copyable handle plus everything the arbitration scan needs — egress port
+/// (resolved once at admission) and wire size — so per-round head scans
+/// never touch the slab.
+#[derive(Debug, Clone, Copy)]
 pub struct BufEntry {
-    /// The packet.
-    pub packet: Packet,
+    /// Handle to the buffered packet.
+    pub packet: PacketRef,
+    /// The egress port the forwarding table resolved at admission.
+    pub egress: PortId,
+    /// Wire size (payload + overhead) in bytes.
+    pub wire: u64,
     /// When the packet arrived at *this* switch — the FCFS key.
     pub arrival: SimTime,
     /// When the packet clears the ingress pipeline and may be arbitrated.
@@ -92,11 +101,10 @@ impl VlBuffer {
 
     /// Admits a packet (upstream spent a credit for it).
     pub fn push(&mut self, entry: BufEntry) {
-        let size = entry.packet.wire_size();
-        if self.occupied + size > self.capacity {
+        if self.occupied + entry.wire > self.capacity {
             self.violations += 1;
         }
-        self.occupied += size;
+        self.occupied += entry.wire;
         self.max_occupied = self.max_occupied.max(self.occupied);
         self.queue.push_back(entry);
     }
@@ -109,7 +117,7 @@ impl VlBuffer {
     /// Removes and returns the head packet, freeing its bytes.
     pub fn pop(&mut self) -> Option<BufEntry> {
         let entry = self.queue.pop_front()?;
-        self.occupied -= entry.packet.wire_size();
+        self.occupied -= entry.wire;
         Some(entry)
     }
 }
@@ -117,29 +125,35 @@ impl VlBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rperf_model::arena::PacketSlab;
     use rperf_model::ids::PacketId;
-    use rperf_model::{FlowId, Lid, MsgId, PacketKind, QpNum, ServiceLevel, Transport, Verb};
+    use rperf_model::{
+        FlowId, Lid, MsgId, Packet, PacketKind, QpNum, ServiceLevel, Transport, Verb,
+    };
 
-    fn entry(bytes: u64, t_ns: u64) -> BufEntry {
-        BufEntry {
-            packet: Packet {
-                id: PacketId::new(0),
-                flow: FlowId::new(0),
-                msg: MsgId::new(0),
-                src: Lid::new(1),
-                dst: Lid::new(2),
-                dst_qp: QpNum::new(0),
-                sl: ServiceLevel::new(0),
-                kind: PacketKind::Data {
-                    verb: Verb::Send,
-                    transport: Transport::Rc,
-                    index: 0,
-                    last: true,
-                },
-                payload: bytes - 52,
-                overhead: 52,
-                injected_at: SimTime::ZERO,
+    fn entry(slab: &mut PacketSlab, bytes: u64, t_ns: u64) -> BufEntry {
+        let packet = slab.alloc(Packet {
+            id: PacketId::new(0),
+            flow: FlowId::new(0),
+            msg: MsgId::new(0),
+            src: Lid::new(1),
+            dst: Lid::new(2),
+            dst_qp: QpNum::new(0),
+            sl: ServiceLevel::new(0),
+            kind: PacketKind::Data {
+                verb: Verb::Send,
+                transport: Transport::Rc,
+                index: 0,
+                last: true,
             },
+            payload: bytes - 52,
+            overhead: 52,
+            injected_at: SimTime::ZERO,
+        });
+        BufEntry {
+            packet,
+            egress: PortId::new(0),
+            wire: bytes,
             arrival: SimTime::from_ns(t_ns),
             eligible_at: SimTime::from_ns(t_ns + 200),
         }
@@ -147,9 +161,10 @@ mod tests {
 
     #[test]
     fn occupancy_tracks_push_pop() {
+        let mut slab = PacketSlab::new();
         let mut b = VlBuffer::new(10_000);
-        b.push(entry(4148, 0));
-        b.push(entry(4148, 1));
+        b.push(entry(&mut slab, 4148, 0));
+        b.push(entry(&mut slab, 4148, 1));
         assert_eq!(b.occupied(), 8296);
         assert_eq!(b.free(), 1704);
         assert_eq!(b.len(), 2);
@@ -160,9 +175,10 @@ mod tests {
 
     #[test]
     fn fifo_order_preserved() {
+        let mut slab = PacketSlab::new();
         let mut b = VlBuffer::new(100_000);
         for i in 0..5 {
-            b.push(entry(100, i));
+            b.push(entry(&mut slab, 100, i));
         }
         for i in 0..5 {
             assert_eq!(b.pop().unwrap().arrival, SimTime::from_ns(i));
@@ -172,24 +188,27 @@ mod tests {
 
     #[test]
     fn violation_counted_but_admitted() {
+        let mut slab = PacketSlab::new();
         let mut b = VlBuffer::new(4_000);
-        b.push(entry(4148, 0));
+        b.push(entry(&mut slab, 4148, 0));
         assert_eq!(b.violations(), 1);
         assert_eq!(b.len(), 1);
     }
 
     #[test]
     fn exact_fit_is_not_a_violation() {
+        let mut slab = PacketSlab::new();
         let mut b = VlBuffer::new(4148);
-        b.push(entry(4148, 0));
+        b.push(entry(&mut slab, 4148, 0));
         assert_eq!(b.violations(), 0);
         assert_eq!(b.free(), 0);
     }
 
     #[test]
     fn head_peeks_without_removal() {
+        let mut slab = PacketSlab::new();
         let mut b = VlBuffer::new(100_000);
-        b.push(entry(100, 7));
+        b.push(entry(&mut slab, 100, 7));
         assert_eq!(b.head().unwrap().arrival, SimTime::from_ns(7));
         assert_eq!(b.len(), 1);
     }

@@ -1,7 +1,10 @@
 //! The switch device: ports, buffers, arbiters and credit plumbing.
 
+use std::sync::Arc;
+
+use rperf_model::arena::{PacketRef, PacketSlab};
 use rperf_model::config::SwitchConfig;
-use rperf_model::{Lid, LinkRate, Packet, PortId, VirtualLane};
+use rperf_model::{Lid, LinkRate, PortId, VirtualLane};
 use rperf_sim::{SimDuration, SimRng, SimTime};
 
 use crate::arbiter::PacketScheduler;
@@ -14,8 +17,9 @@ use crate::vlarb::VlArbiter;
 ///
 /// The fabric layer turns these into scheduled events: packet deliveries to
 /// the downstream peer, credit returns to the upstream peer, and wake-ups
-/// for the switch itself.
-#[derive(Debug, Clone)]
+/// for the switch itself. Packets travel as [`PacketRef`] handles into the
+/// fabric-owned `PacketSlab`; the switch never copies packet bodies.
+#[derive(Debug, Clone, Copy)]
 pub enum SwitchAction {
     /// Begin transmitting `packet` on `egress`: the first bit leaves
     /// `start_after` from now (arbitration overhead) and the last bit
@@ -23,8 +27,8 @@ pub enum SwitchAction {
     Transmit {
         /// Egress port.
         egress: PortId,
-        /// The packet being forwarded.
-        packet: Packet,
+        /// Handle to the packet being forwarded.
+        packet: PacketRef,
         /// Arbitration/scan delay before the first bit.
         start_after: SimDuration,
         /// Wire serialization time of the whole packet.
@@ -70,10 +74,12 @@ pub struct SwitchStats {
 /// See the crate docs for the architecture. The switch is driven by three
 /// entry points — [`Switch::packet_arrival`], [`Switch::egress_wake`] and
 /// [`Switch::credit_from_downstream`] — each returning the actions the
-/// fabric must schedule.
+/// fabric must schedule. Only [`Switch::packet_arrival`] reads the packet
+/// slab: the route, wire size and VL are resolved once at admission and
+/// cached in the buffer entry, so arbitration rounds are handle-only.
 #[derive(Debug)]
 pub struct Switch {
-    cfg: SwitchConfig,
+    cfg: Arc<SwitchConfig>,
     data_rate: LinkRate,
     /// Input buffers, indexed `[ingress port][vl]`.
     buffers: Vec<Vec<VlBuffer>>,
@@ -92,7 +98,11 @@ impl Switch {
     /// rate. Downstream credit ledgers default to one input-buffer grant
     /// per VL (symmetric switches); override per port with
     /// [`Switch::set_downstream_credits`] for host-facing ports.
-    pub fn new(cfg: SwitchConfig, data_rate: LinkRate, rng: SimRng) -> Self {
+    ///
+    /// The configuration is taken as (or promoted to) an [`Arc`], so a
+    /// fabric instantiating many identical switches shares one allocation.
+    pub fn new(cfg: impl Into<Arc<SwitchConfig>>, data_rate: LinkRate, rng: SimRng) -> Self {
+        let cfg = cfg.into();
         let ports = cfg.ports as usize;
         let vls = cfg.vls;
         let buffers = (0..ports)
@@ -105,8 +115,11 @@ impl Switch {
         let down_credits = (0..ports)
             .map(|_| CreditLedger::new(vls, cfg.input_buffer_bytes))
             .collect();
+        // One shared arbitration table for all ports instead of a deep
+        // clone per port.
+        let vlarb_cfg = Arc::new(cfg.vlarb.clone());
         let vlarbs = (0..ports)
-            .map(|_| VlArbiter::new(cfg.vlarb.clone()))
+            .map(|_| VlArbiter::new(vlarb_cfg.clone()))
             .collect();
         let scheds = (0..ports)
             .map(|_| PacketScheduler::new(cfg.policy, cfg.ports))
@@ -185,13 +198,16 @@ impl Switch {
         &mut self,
         now: SimTime,
         ingress: PortId,
-        packet: Packet,
+        packet: PacketRef,
+        slab: &PacketSlab,
     ) -> Vec<SwitchAction> {
+        let p = slab.get(packet);
         let egress = self
             .fwd
-            .route(packet.dst)
-            .unwrap_or_else(|| panic!("no route for {} in switch forwarding table", packet.dst));
-        let vl = self.cfg.sl2vl.vl_for(packet.sl);
+            .route(p.dst)
+            .unwrap_or_else(|| panic!("no route for {} in switch forwarding table", p.dst));
+        let vl = self.cfg.sl2vl.vl_for(p.sl);
+        let wire = p.wire_size();
         let jitter = match &self.cfg.jitter {
             Some(j) => j.sample(&mut self.rng),
             None => SimDuration::ZERO,
@@ -199,6 +215,8 @@ impl Switch {
         let eligible_at = now + self.cfg.pipeline_latency + jitter;
         self.buffers[ingress.index()][vl.index()].push(BufEntry {
             packet,
+            egress,
+            wire,
             arrival: now,
             eligible_at,
         });
@@ -237,6 +255,7 @@ impl Switch {
 
     /// Runs one arbitration round for `egress`; dispatches at most one
     /// packet (the port is then busy until its serialization completes).
+    /// Operates purely on buffer-entry metadata — no slab access.
     fn try_dispatch(&mut self, now: SimTime, egress: PortId, out: &mut Vec<SwitchAction>) {
         let e = egress.index();
         if self.busy_until[e] > now {
@@ -254,10 +273,7 @@ impl Switch {
                 let Some(head) = self.buffers[p as usize][v as usize].head() else {
                     continue;
                 };
-                let Some(dst_port) = self.fwd.route(head.packet.dst) else {
-                    continue;
-                };
-                if dst_port != egress {
+                if head.egress != egress {
                     continue;
                 }
                 scanned += 1;
@@ -269,7 +285,7 @@ impl Switch {
                     continue;
                 }
                 let vl = VirtualLane::new(v);
-                if !self.down_credits[e].can_send(vl, head.packet.wire_size()) {
+                if !self.down_credits[e].can_send(vl, head.wire) {
                     credit_blocked = true;
                     continue;
                 }
@@ -302,7 +318,7 @@ impl Switch {
         let entry = self.buffers[ingress.index()][vl.index()]
             .pop()
             .expect("candidate head vanished");
-        let size = entry.packet.wire_size();
+        let size = entry.wire;
         let consumed = self.down_credits[e].consume(vl, size);
         debug_assert!(consumed, "candidate was filtered by credit availability");
         self.vlarbs[e].account(vl, size);
@@ -339,13 +355,11 @@ impl Switch {
         // while this packet blocked the FIFO). Chain a wake so progress on
         // one output port can never strand traffic for another.
         if let Some(next) = self.buffers[ingress.index()][vl.index()].head() {
-            if let Some(next_egress) = self.fwd.route(next.packet.dst) {
-                if next_egress != egress {
-                    out.push(SwitchAction::Wake {
-                        egress: next_egress,
-                        at: now.max(next.eligible_at),
-                    });
-                }
+            if next.egress != egress {
+                out.push(SwitchAction::Wake {
+                    egress: next.egress,
+                    at: now.max(next.eligible_at),
+                });
             }
         }
     }
@@ -356,7 +370,7 @@ mod tests {
     use super::*;
     use rperf_model::config::{ClusterConfig, SchedPolicy};
     use rperf_model::ids::PacketId;
-    use rperf_model::{FlowId, MsgId, PacketKind, QpNum, ServiceLevel, Transport, Verb};
+    use rperf_model::{FlowId, MsgId, Packet, PacketKind, QpNum, ServiceLevel, Transport, Verb};
 
     fn test_switch(policy: SchedPolicy) -> Switch {
         let mut cfg = ClusterConfig::omnet_simulator().switch;
@@ -390,6 +404,17 @@ mod tests {
         }
     }
 
+    fn arrive(
+        sw: &mut Switch,
+        slab: &mut PacketSlab,
+        now: SimTime,
+        ingress: PortId,
+        packet: Packet,
+    ) -> Vec<SwitchAction> {
+        let handle = slab.alloc(packet);
+        sw.packet_arrival(now, ingress, handle, slab)
+    }
+
     fn wake_of(actions: &[SwitchAction]) -> SimTime {
         actions
             .iter()
@@ -400,11 +425,19 @@ mod tests {
             .expect("expected a wake action")
     }
 
+    fn transmit_id(actions: &[SwitchAction], slab: &PacketSlab) -> Option<PacketId> {
+        actions.iter().find_map(|a| match a {
+            SwitchAction::Transmit { packet, .. } => Some(slab.get(*packet).id),
+            _ => None,
+        })
+    }
+
     #[test]
     fn zero_load_forwarding_timing() {
+        let mut slab = PacketSlab::new();
         let mut sw = test_switch(SchedPolicy::Fcfs);
         let t0 = SimTime::from_ns(100);
-        let actions = sw.packet_arrival(t0, PortId::new(1), pkt(1, 0, 64, 0));
+        let actions = arrive(&mut sw, &mut slab, t0, PortId::new(1), pkt(1, 0, 64, 0));
         // Not yet eligible: a wake at t0 + pipeline (no jitter in the
         // simulator profile).
         let at = wake_of(&actions);
@@ -419,12 +452,12 @@ mod tests {
                     packet,
                     start_after,
                     serialize,
-                } => Some((*egress, packet.clone(), *start_after, *serialize)),
+                } => Some((*egress, *packet, *start_after, *serialize)),
                 _ => None,
             })
             .expect("expected a transmit");
         assert_eq!(transmit.0, PortId::new(0));
-        assert_eq!(transmit.1.id, PacketId::new(1));
+        assert_eq!(slab.get(transmit.1).id, PacketId::new(1));
         // Simulator profile has no arbitration scan cost.
         assert_eq!(transmit.2, SimDuration::ZERO);
         assert!(transmit.3 > SimDuration::ZERO);
@@ -433,9 +466,10 @@ mod tests {
 
     #[test]
     fn credit_returned_on_dispatch() {
+        let mut slab = PacketSlab::new();
         let mut sw = test_switch(SchedPolicy::Fcfs);
         let t0 = SimTime::from_ns(0);
-        let a = sw.packet_arrival(t0, PortId::new(1), pkt(1, 0, 4096, 0));
+        let a = arrive(&mut sw, &mut slab, t0, PortId::new(1), pkt(1, 0, 4096, 0));
         let at = wake_of(&a);
         let actions = sw.egress_wake(at, PortId::new(0));
         let credit = actions.iter().find_map(|a| match a {
@@ -447,30 +481,40 @@ mod tests {
 
     #[test]
     fn fcfs_orders_across_ingress_ports() {
+        let mut slab = PacketSlab::new();
         let mut sw = test_switch(SchedPolicy::Fcfs);
         // Two packets from different ports, second-arrived on lower port id.
-        sw.packet_arrival(SimTime::from_ns(10), PortId::new(3), pkt(1, 0, 64, 0));
-        let a = sw.packet_arrival(SimTime::from_ns(20), PortId::new(2), pkt(2, 0, 64, 0));
+        arrive(
+            &mut sw,
+            &mut slab,
+            SimTime::from_ns(10),
+            PortId::new(3),
+            pkt(1, 0, 64, 0),
+        );
+        let a = arrive(
+            &mut sw,
+            &mut slab,
+            SimTime::from_ns(20),
+            PortId::new(2),
+            pkt(2, 0, 64, 0),
+        );
         let at = wake_of(&a).max(SimTime::from_ns(10) + sw.config().pipeline_latency);
         let first = sw.egress_wake(at, PortId::new(0));
-        let got = first
-            .iter()
-            .find_map(|a| match a {
-                SwitchAction::Transmit { packet, .. } => Some(packet.id),
-                _ => None,
-            })
-            .unwrap();
+        let got = transmit_id(&first, &slab).unwrap();
         assert_eq!(got, PacketId::new(1), "older arrival must win under FCFS");
     }
 
     #[test]
     fn rr_alternates_between_ports() {
+        let mut slab = PacketSlab::new();
         let mut sw = test_switch(SchedPolicy::RoundRobin);
         let t = SimTime::from_ns(0);
         // Queue two packets per port.
         for (port, base) in [(1u8, 10u64), (2, 20)] {
             for k in 0..2 {
-                sw.packet_arrival(
+                arrive(
+                    &mut sw,
+                    &mut slab,
                     SimTime::from_ns(base + k),
                     PortId::new(port),
                     pkt(u64::from(port) * 10 + k, 0, 64, 0),
@@ -483,7 +527,7 @@ mod tests {
             let actions = sw.egress_wake(now, PortId::new(0));
             for a in &actions {
                 if let SwitchAction::Transmit { packet, .. } = a {
-                    order.push(packet.id.raw() / 10);
+                    order.push(slab.get(*packet).id.raw() / 10);
                 }
             }
             now = wake_of(&actions).max(now + SimDuration::from_ns(1));
@@ -493,18 +537,29 @@ mod tests {
 
     #[test]
     fn dispatch_blocked_without_credits_resumes_on_replenish() {
+        let mut slab = PacketSlab::new();
         let mut sw = test_switch(SchedPolicy::Fcfs);
         // Downstream grants exactly one 4148 B packet of credit on VL0.
         sw.set_downstream_credits(PortId::new(0), CreditLedger::new(9, 4_148));
-        sw.packet_arrival(SimTime::ZERO, PortId::new(1), pkt(1, 0, 4096, 0));
-        let a = sw.packet_arrival(SimTime::ZERO, PortId::new(2), pkt(2, 0, 4096, 0));
+        arrive(
+            &mut sw,
+            &mut slab,
+            SimTime::ZERO,
+            PortId::new(1),
+            pkt(1, 0, 4096, 0),
+        );
+        let a = arrive(
+            &mut sw,
+            &mut slab,
+            SimTime::ZERO,
+            PortId::new(2),
+            pkt(2, 0, 4096, 0),
+        );
         let at = wake_of(&a);
         // First packet dispatches and consumes the whole grant.
         let first = sw.egress_wake(at, PortId::new(0));
         let busy_until = wake_of(&first);
-        assert!(first.iter().any(
-            |a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(1))
-        ));
+        assert_eq!(transmit_id(&first, &slab), Some(PacketId::new(1)));
 
         // Port free again, but the second packet has no credits.
         let actions = sw.egress_wake(busy_until, PortId::new(0));
@@ -522,10 +577,9 @@ mod tests {
             VirtualLane::new(0),
             4_148,
         );
-        assert!(
-            actions
-                .iter()
-                .any(|a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(2))),
+        assert_eq!(
+            transmit_id(&actions, &slab),
+            Some(PacketId::new(2)),
             "{actions:?}"
         );
         assert_eq!(sw.total_buffered(), 0);
@@ -533,6 +587,7 @@ mod tests {
 
     #[test]
     fn high_priority_vl_preempts_queued_low() {
+        let mut slab = PacketSlab::new();
         let mut cfg = ClusterConfig::omnet_simulator().with_dedicated_sl().switch;
         cfg.policy = SchedPolicy::Fcfs;
         let rate = ClusterConfig::omnet_simulator().link.data_rate();
@@ -541,17 +596,23 @@ mod tests {
 
         // Older low-priority packet and newer high-priority packet, both
         // eligible.
-        sw.packet_arrival(SimTime::from_ns(0), PortId::new(1), pkt(1, 0, 4096, 0));
-        sw.packet_arrival(SimTime::from_ns(50), PortId::new(2), pkt(2, 0, 64, 1));
+        arrive(
+            &mut sw,
+            &mut slab,
+            SimTime::from_ns(0),
+            PortId::new(1),
+            pkt(1, 0, 4096, 0),
+        );
+        arrive(
+            &mut sw,
+            &mut slab,
+            SimTime::from_ns(50),
+            PortId::new(2),
+            pkt(2, 0, 64, 1),
+        );
         let now = SimTime::from_ns(300);
         let actions = sw.egress_wake(now, PortId::new(0));
-        let got = actions
-            .iter()
-            .find_map(|a| match a {
-                SwitchAction::Transmit { packet, .. } => Some(packet.id),
-                _ => None,
-            })
-            .unwrap();
+        let got = transmit_id(&actions, &slab).unwrap();
         assert_eq!(
             got,
             PacketId::new(2),
@@ -561,35 +622,54 @@ mod tests {
 
     #[test]
     fn busy_egress_defers_dispatch() {
+        let mut slab = PacketSlab::new();
         let mut sw = test_switch(SchedPolicy::Fcfs);
-        sw.packet_arrival(SimTime::ZERO, PortId::new(1), pkt(1, 0, 4096, 0));
+        arrive(
+            &mut sw,
+            &mut slab,
+            SimTime::ZERO,
+            PortId::new(1),
+            pkt(1, 0, 4096, 0),
+        );
         let at = SimTime::ZERO + sw.config().pipeline_latency;
         let first = sw.egress_wake(at, PortId::new(0));
         let busy_until = wake_of(&first);
         // Second packet eligible while port busy.
-        sw.packet_arrival(at, PortId::new(2), pkt(2, 0, 64, 0));
+        arrive(&mut sw, &mut slab, at, PortId::new(2), pkt(2, 0, 64, 0));
         let mid = at + SimDuration::from_ns(250);
         assert!(sw.egress_busy(PortId::new(0), mid));
         let none = sw.egress_wake(mid, PortId::new(0));
         assert!(none.is_empty(), "{none:?}");
         // At busy_until the port frees and forwards the second packet.
         let actions = sw.egress_wake(busy_until, PortId::new(0));
-        assert!(actions.iter().any(
-            |a| matches!(a, SwitchAction::Transmit { packet, .. } if packet.id == PacketId::new(2))
-        ));
+        assert_eq!(transmit_id(&actions, &slab), Some(PacketId::new(2)));
     }
 
     #[test]
     #[should_panic(expected = "no route")]
     fn unrouted_destination_panics() {
+        let mut slab = PacketSlab::new();
         let mut sw = test_switch(SchedPolicy::Fcfs);
-        sw.packet_arrival(SimTime::ZERO, PortId::new(0), pkt(1, 600, 64, 0));
+        arrive(
+            &mut sw,
+            &mut slab,
+            SimTime::ZERO,
+            PortId::new(0),
+            pkt(1, 600, 64, 0),
+        );
     }
 
     #[test]
     fn occupancy_queries() {
+        let mut slab = PacketSlab::new();
         let mut sw = test_switch(SchedPolicy::Fcfs);
-        sw.packet_arrival(SimTime::ZERO, PortId::new(1), pkt(1, 0, 4096, 0));
+        arrive(
+            &mut sw,
+            &mut slab,
+            SimTime::ZERO,
+            PortId::new(1),
+            pkt(1, 0, 4096, 0),
+        );
         assert_eq!(sw.occupancy(PortId::new(1), VirtualLane::new(0)), 4148);
         assert_eq!(sw.occupancy(PortId::new(2), VirtualLane::new(0)), 0);
         assert_eq!(sw.total_buffered(), 4148);

@@ -1,5 +1,7 @@
 //! IB-spec virtual-lane arbitration.
 
+use std::sync::Arc;
+
 use rperf_model::config::{VlArbConfig, VlArbEntry};
 use rperf_model::VirtualLane;
 
@@ -34,7 +36,7 @@ const WEIGHT_UNIT: u64 = 64;
 /// ```
 #[derive(Debug, Clone)]
 pub struct VlArbiter {
-    cfg: VlArbConfig,
+    cfg: Arc<VlArbConfig>,
     /// Remaining consecutive high-priority bytes before a forced low turn.
     high_budget: u64,
     /// Set when the budget ran out and a low-priority turn is owed.
@@ -111,8 +113,11 @@ fn entry_budget(e: &VlArbEntry) -> u64 {
 }
 
 impl VlArbiter {
-    /// Creates an arbiter from the port's arbitration tables.
-    pub fn new(cfg: VlArbConfig) -> Self {
+    /// Creates an arbiter from the port's arbitration tables. Accepts the
+    /// tables by value or pre-shared in an [`Arc`] — a switch hands every
+    /// port the same allocation.
+    pub fn new(cfg: impl Into<Arc<VlArbConfig>>) -> Self {
+        let cfg = cfg.into();
         let high_budget = Self::budget_of(&cfg);
         VlArbiter {
             cfg,

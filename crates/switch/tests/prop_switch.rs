@@ -2,6 +2,7 @@
 //! bounds, work conservation and scheduling-policy contracts.
 
 use proptest::prelude::*;
+use rperf_model::arena::PacketSlab;
 use rperf_model::config::{ClusterConfig, SchedPolicy};
 use rperf_model::ids::PacketId;
 use rperf_model::{
@@ -38,6 +39,7 @@ fn packet(id: u64, dst: u16, payload: u64) -> Packet {
 /// credits exactly like the fabric does.
 struct Harness {
     sw: Switch,
+    slab: PacketSlab,
     /// Credits each upstream port holds toward the switch, per VL.
     up_credits: Vec<CreditLedger>,
     wakes: BinaryHeap<Reverse<(u64, u8)>>,
@@ -64,6 +66,7 @@ impl Harness {
         }
         Harness {
             sw,
+            slab: PacketSlab::new(),
             up_credits: (0..ports).map(|_| CreditLedger::new(vls, buffer)).collect(),
             wakes: BinaryHeap::new(),
             forwarded: Vec::new(),
@@ -79,9 +82,11 @@ impl Harness {
                 }
                 SwitchAction::Transmit { egress, packet, .. } => {
                     // The (synthetic, infinitely fast) downstream peer frees
-                    // its buffer as soon as the packet lands.
-                    downstream_frees.push((egress, packet.wire_size()));
-                    self.forwarded.push((now, packet));
+                    // its buffer as soon as the packet lands and consumes
+                    // the packet out of the slab.
+                    let pkt = self.slab.free(packet);
+                    downstream_frees.push((egress, pkt.wire_size()));
+                    self.forwarded.push((now, pkt));
                 }
                 SwitchAction::ReturnCredit { ingress, vl, bytes } => {
                     self.up_credits[ingress.index()].replenish(vl, bytes);
@@ -104,7 +109,10 @@ impl Harness {
         if !self.up_credits[port as usize].consume(vl, size) {
             return false;
         }
-        let actions = self.sw.packet_arrival(now, PortId::new(port), pkt);
+        let handle = self.slab.alloc(pkt);
+        let actions = self
+            .sw
+            .packet_arrival(now, PortId::new(port), handle, &self.slab);
         self.absorb(now, actions);
         true
     }
@@ -156,6 +164,7 @@ proptest! {
         prop_assert_eq!(h.forwarded.len(), sent, "every admitted packet forwards");
         prop_assert_eq!(h.sw.stats().buffer_violations, 0);
         prop_assert_eq!(h.sw.total_buffered(), 0, "switch drains completely");
+        prop_assert!(h.slab.is_empty(), "no packet handles may leak");
         // No duplicates.
         let mut ids: Vec<u64> = h.forwarded.iter().map(|(_, p)| p.id.raw()).collect();
         ids.sort_unstable();
