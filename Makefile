@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint build test bench bench-smoke report quick-report
+.PHONY: ci fmt lint build test bench bench-smoke report quick-report scenario-smoke
 
 ci: fmt lint build test
 
@@ -34,3 +34,14 @@ quick-report:
 # uploaded as a workflow artifact.
 bench-smoke:
 	$(CARGO) run --release -p rperf-bench --bin report -- --quick --jobs 1
+
+# CI smoke: run the beyond-paper example scenarios end-to-end from their
+# spec files and check the emitted JSON parses.
+scenario-smoke:
+	$(CARGO) run --release -p rperf-cli -- scenario examples/scenarios/chain_gaming.scn --json | python3 -m json.tool > /dev/null
+	$(CARGO) run --release -p rperf-cli -- scenario examples/scenarios/incast_8.scn --json | python3 -m json.tool > /dev/null
+
+# The historical per-figure binaries (fig4 … fig13) are aliases onto the
+# single `figure` binary: `make fig7`, `make fig13 ARGS="--quick"`.
+fig%:
+	$(CARGO) run --release -p rperf-bench --bin figure -- --fig $* $(ARGS)

@@ -166,7 +166,11 @@ fn main() {
          test are the *shapes*: who wins, slopes, crossovers, isolation\n\
          factors. Each figure below shows the full measured series followed\n\
          by a side-by-side comparison at the points the paper quotes in its\n\
-         text.\n",
+         text.\n\n\
+         Every figure is produced by sweeping declarative scenario specs\n\
+         (`rperf::ScenarioSpec`) through the generic executor\n\
+         (`rperf::execute`); see DESIGN.md §4.1. Golden tests pin the\n\
+         spec-driven output byte-for-byte to the pre-IR harness.\n",
         effort.seeds.len(),
         effort.scale
     );

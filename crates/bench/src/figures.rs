@@ -1,19 +1,18 @@
-//! One generator per paper figure.
+//! One generator per paper figure — each figure is **data**: a scenario
+//! table from [`rperf::scenario::specs`] swept over its parameter axis.
 //!
 //! Every figure is a sweep of independent `(point, seed)` simulations,
 //! expressed through [`sweep_over_seeds`]: the figure supplies a closure
-//! that builds and runs the scenario for one `(param, seed)` pair plus a
+//! that executes the scenario spec for one `(param, seed)` pair plus a
 //! merge that folds the per-seed results into one plotted point. The
 //! sweep fans the pairs across `effort.jobs` worker threads and hands the
 //! merge its results in seed order, so the emitted series are bit-identical
-//! to a serial run for any worker count.
+//! to a serial run for any worker count. All execution goes through the
+//! one generic [`execute`] path; nothing here hand-builds a fabric.
 
-use rperf::scenario::{
-    converged, multihop, one_to_one_bandwidth, one_to_one_perftest, one_to_one_qperf,
-    one_to_one_rperf, QosMode, RunSpec,
-};
+use rperf::scenario::{converged_outcome, specs, QosMode};
+use rperf::{execute, DeviceProfile, ScenarioOutcome, ScenarioSpec};
 use rperf_model::config::SchedPolicy;
-use rperf_model::ClusterConfig;
 use rperf_stats::{Figure, Series};
 
 use crate::{mean, sweep_over_seeds, Effort};
@@ -21,10 +20,10 @@ use crate::{mean, sweep_over_seeds, Effort};
 /// The payload sweep used throughout the paper: 64 B – 4096 B.
 pub const PAYLOADS: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
 
-fn spec(effort: &Effort, cfg: ClusterConfig, base_ms: f64, seed: u64) -> RunSpec {
-    RunSpec::new(cfg)
-        .with_seed(seed)
-        .with_duration(effort.window(base_ms))
+/// Executes a scenario table with the figure's measurement window (scaled
+/// by the effort level) and the given seed.
+fn run(table: ScenarioSpec, effort: &Effort, base_ms: f64, seed: u64) -> ScenarioOutcome {
+    execute(&table.with_duration(effort.window(base_ms)), seed)
 }
 
 /// Fig. 4 — RPerf RTT vs payload size, with and without the switch
@@ -49,12 +48,8 @@ pub fn fig4(effort: &Effort) -> Figure {
         effort,
         &params,
         |&(payload, through), seed| {
-            let summary = one_to_one_rperf(
-                &spec(effort, ClusterConfig::hardware(), 8.0, seed),
-                through,
-                payload,
-            )
-            .summary;
+            let out = run(specs::one_to_one_rperf(through, payload), effort, 8.0, seed);
+            let summary = out.rperf(0).expect("rperf on node 0").summary;
             (summary.p50_ns(), summary.p999_ns())
         },
         |&(payload, through), per_seed| {
@@ -100,11 +95,14 @@ pub fn fig5(effort: &Effort) -> Figure {
         effort,
         &params,
         |&(payload, through), seed| {
-            one_to_one_bandwidth(
-                &spec(effort, ClusterConfig::hardware(), 4.0, seed),
-                through,
-                payload,
+            run(
+                specs::one_to_one_bandwidth(through, payload),
+                effort,
+                4.0,
+                seed,
             )
+            .gbps(0)
+            .expect("bsg on node 0")
         },
         |&(payload, through), gbps| (payload, through, mean(&gbps)),
     );
@@ -135,9 +133,10 @@ pub fn fig6(effort: &Effort) -> Figure {
         effort,
         &PAYLOADS,
         |&payload, seed| {
-            let s = spec(effort, ClusterConfig::hardware(), 8.0, seed);
-            let pf = one_to_one_perftest(&s, payload);
-            let qp = one_to_one_qperf(&s, payload);
+            let pf = run(specs::one_to_one_perftest(payload), effort, 8.0, seed);
+            let pf = pf.latency(0).expect("perftest client on node 0");
+            let qp = run(specs::one_to_one_qperf(payload), effort, 8.0, seed);
+            let qp = *qp.qperf(0).expect("qperf client on node 0");
             (pf.p50_us(), pf.p999_us(), qp.avg_us)
         },
         |&payload, per_seed| {
@@ -174,14 +173,14 @@ struct ConvergedPoint {
     total_gbps: f64,
 }
 
+/// Executes a converged scenario table and extracts the LSG-centric view.
 fn converged_point(
-    spec: &RunSpec,
-    n_bsgs: usize,
-    payload: u64,
-    batch: usize,
-    qos: QosMode,
+    table: ScenarioSpec,
+    effort: &Effort,
+    base_ms: f64,
+    seed: u64,
 ) -> ConvergedPoint {
-    let out = converged(spec, n_bsgs, payload, batch, true, qos);
+    let out = converged_outcome(&run(table, effort, base_ms, seed));
     let lsg = out.lsg.expect("LSG present").summary;
     ConvergedPoint {
         p50_us: lsg.p50_us(),
@@ -228,11 +227,10 @@ pub fn fig7(effort: &Effort) -> (Figure, Figure) {
         &params,
         |&n, seed| {
             converged_point(
-                &spec(effort, ClusterConfig::hardware(), 40.0, seed),
-                n,
-                4096,
-                1,
-                QosMode::SharedSl,
+                specs::converged(n, 4096, 1, true, QosMode::SharedSl),
+                effort,
+                40.0,
+                seed,
             )
         },
         |&n, per_seed| (n, merge_converged(per_seed)),
@@ -278,11 +276,10 @@ pub fn fig8_fig9(effort: &Effort) -> (Figure, Figure) {
             // bandwidth utilization."
             let batch = if payload <= 1024 { 16 } else { 1 };
             converged_point(
-                &spec(effort, ClusterConfig::hardware(), 15.0, seed),
-                5,
-                payload,
-                batch,
-                QosMode::SharedSl,
+                specs::converged(5, payload, batch, true, QosMode::SharedSl),
+                effort,
+                15.0,
+                seed,
             )
         },
         |&payload, per_seed| (payload, merge_converged(per_seed)),
@@ -322,13 +319,13 @@ pub fn fig10(effort: &Effort) -> Figure {
             effort,
             &params,
             |&n, seed| {
-                let cfg = ClusterConfig::omnet_simulator().with_policy(policy);
                 converged_point(
-                    &spec(effort, cfg, 40.0, seed),
-                    n,
-                    4096,
-                    1,
-                    QosMode::SharedSl,
+                    specs::converged(n, 4096, 1, true, QosMode::SharedSl)
+                        .with_profile(DeviceProfile::OmnetSimulator)
+                        .with_policy(policy),
+                    effort,
+                    40.0,
+                    seed,
                 )
             },
             |&n, per_seed| (n, merge_converged(per_seed)),
@@ -360,9 +357,13 @@ pub fn fig11(effort: &Effort) -> Figure {
         effort,
         &params,
         |&(_, policy), seed| {
-            let cfg = ClusterConfig::omnet_simulator();
-            let out = multihop(&spec(effort, cfg, 40.0, seed), policy);
-            let lsg = out.lsg.expect("LSG present").summary;
+            let out = run(
+                specs::multihop(policy).with_profile(DeviceProfile::OmnetSimulator),
+                effort,
+                40.0,
+                seed,
+            );
+            let lsg = converged_outcome(&out).lsg.expect("LSG present").summary;
             (lsg.p50_us(), lsg.p999_us())
         },
         |&(x, _), per_seed| {
@@ -418,11 +419,10 @@ pub fn fig12(effort: &Effort) -> Figure {
                 n_bsgs
             };
             converged_point(
-                &spec(effort, ClusterConfig::hardware(), 30.0, seed),
-                honest,
-                4096,
-                1,
-                qos,
+                specs::converged(honest, 4096, 1, true, qos),
+                effort,
+                30.0,
+                seed,
             )
         },
         |_, per_seed| merge_converged(per_seed),
@@ -462,14 +462,12 @@ pub fn fig13(effort: &Effort) -> Figure {
         |&(_, qos), seed| {
             let gaming = qos == QosMode::DedicatedSlWithPretend;
             let n_bsgs = if gaming { 4 } else { 5 };
-            let out = converged(
-                &spec(effort, ClusterConfig::hardware(), 30.0, seed),
-                n_bsgs,
-                4096,
-                1,
-                true,
-                qos,
-            );
+            let out = converged_outcome(&run(
+                specs::converged(n_bsgs, 4096, 1, true, qos),
+                effort,
+                30.0,
+                seed,
+            ));
             let mut shares = [0.0f64; 5];
             if gaming {
                 shares[0] = out.pretend_gbps.expect("gaming run");
@@ -512,6 +510,32 @@ pub fn fig13(effort: &Effort) -> Figure {
     fig.add_series(total);
     fig
 }
+
+/// Runs the generator(s) behind one paper figure id (`"4"` … `"13"`).
+///
+/// Figure 7 produces two figures (7a and 7b) from one sweep; 8 and 9 share
+/// a sweep but are addressed separately. Returns `None` for unknown ids.
+pub fn by_id(id: &str, effort: &Effort) -> Option<Vec<Figure>> {
+    Some(match id {
+        "4" => vec![fig4(effort)],
+        "5" => vec![fig5(effort)],
+        "6" => vec![fig6(effort)],
+        "7" => {
+            let (a, b) = fig7(effort);
+            vec![a, b]
+        }
+        "8" => vec![fig8_fig9(effort).0],
+        "9" => vec![fig8_fig9(effort).1],
+        "10" => vec![fig10(effort)],
+        "11" => vec![fig11(effort)],
+        "12" => vec![fig12(effort)],
+        "13" => vec![fig13(effort)],
+        _ => return None,
+    })
+}
+
+/// Every figure id [`by_id`] accepts, in paper order.
+pub const FIGURE_IDS: [&str; 10] = ["4", "5", "6", "7", "8", "9", "10", "11", "12", "13"];
 
 #[cfg(test)]
 mod tests {

@@ -34,6 +34,53 @@ fn converged_sweep_is_byte_identical_across_worker_counts() {
     assert!(!serial_a.series.is_empty() && !serial_a.series[0].x.is_empty());
 }
 
+/// The pre-refactor JSON of every paper figure, dumped by the `figure`
+/// binary at `--seeds 2 --scale 0.05 --jobs 1 --json` before the figures
+/// moved onto the declarative scenario-spec path. The spec-driven
+/// executor must reproduce each byte, serially and in parallel.
+const GOLDEN: [(&str, &str); 10] = [
+    ("4", include_str!("golden/fig4.json")),
+    ("5", include_str!("golden/fig5.json")),
+    ("6", include_str!("golden/fig6.json")),
+    ("7", include_str!("golden/fig7.json")),
+    ("8", include_str!("golden/fig8.json")),
+    ("9", include_str!("golden/fig9.json")),
+    ("10", include_str!("golden/fig10.json")),
+    ("11", include_str!("golden/fig11.json")),
+    ("12", include_str!("golden/fig12.json")),
+    ("13", include_str!("golden/fig13.json")),
+];
+
+fn rendered(id: &str, jobs: usize) -> String {
+    figures::by_id(id, &tiny(jobs))
+        .unwrap_or_else(|| panic!("unknown figure id {id}"))
+        .iter()
+        .map(|f| f.to_json() + "\n")
+        .collect()
+}
+
+#[test]
+fn every_figure_matches_its_pre_refactor_golden_serially() {
+    for (id, golden) in GOLDEN {
+        assert_eq!(
+            rendered(id, 1),
+            golden,
+            "fig{id} diverged from the pre-refactor output at --jobs 1"
+        );
+    }
+}
+
+#[test]
+fn every_figure_matches_its_pre_refactor_golden_in_parallel() {
+    for (id, golden) in GOLDEN {
+        assert_eq!(
+            rendered(id, 4),
+            golden,
+            "fig{id} diverged from the pre-refactor output at --jobs 4"
+        );
+    }
+}
+
 #[test]
 fn one_to_one_sweep_is_byte_identical_across_worker_counts() {
     let effort = Effort {

@@ -11,7 +11,13 @@
 //! $ rperf-cli converged --bsgs 5 --qos dedicated
 //! $ rperf-cli multihop --policy rr
 //! $ rperf-cli chain --switches 3 --bsgs 2
+//! $ rperf-cli scenario my_experiment.scn --seed 3 --json
 //! ```
+//!
+//! The `scenario` subcommand runs an arbitrary experiment from a
+//! scenario-spec file (see `rperf::spec::ScenarioSpec::parse` for the
+//! format) through the generic executor — topologies, traffic matrices
+//! and QoS setups beyond the paper's figures need no recompilation.
 //!
 //! Argument parsing is hand-rolled (the suite takes no CLI dependency);
 //! every flag error produces a usage message rather than a panic.
@@ -100,6 +106,15 @@ pub enum Command {
         bsgs: usize,
         /// Common options.
         common: Common,
+    },
+    /// An arbitrary experiment loaded from a scenario-spec file.
+    Scenario {
+        /// Path of the spec file.
+        file: String,
+        /// Experiment seed.
+        seed: u64,
+        /// Emit the outcome as deterministic JSON instead of text.
+        json: bool,
     },
     /// A payload sweep (64 B – 4096 B) averaged over seeds, fanned across
     /// worker threads.
@@ -194,6 +209,7 @@ COMMANDS:
     multihop   two-switch topology     [--policy fcfs|rr|fair]
     chain      switch-chain extension  [--switches N] [--bsgs N]
     sweep      payload sweep 64B-4096B [--what lat|bw] [--no-switch] [--seeds N]
+    scenario   run a spec file         <FILE> [--seed N] [--json]
     help       this text
 
 COMMON OPTIONS:
@@ -226,6 +242,33 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = args.first() else {
         return Ok(Command::Help);
     };
+    // `scenario` takes a positional file path plus its own small flag set.
+    if cmd == "scenario" {
+        let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            return Err(ParseError("scenario needs a spec file path".into()));
+        };
+        let mut seed = 1u64;
+        let mut json = false;
+        let mut i = 2;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    seed = parse_u64("--seed", args.get(i + 1))?;
+                    i += 2;
+                }
+                "--json" => {
+                    json = true;
+                    i += 1;
+                }
+                other => return Err(ParseError(format!("unknown option `{other}` for scenario"))),
+            }
+        }
+        return Ok(Command::Scenario {
+            file: file.clone(),
+            seed,
+            json,
+        });
+    }
     let mut payload: Option<u64> = None;
     let mut no_switch = false;
     let mut tool = Tool::RPerf;
@@ -397,10 +440,78 @@ fn spec_of(common: &Common) -> RunSpec {
         .with_duration(SimDuration::from_secs_f64(common.duration_ms * 1e-3))
 }
 
-/// Executes a parsed command and returns the text to print.
+/// Loads, validates and executes a scenario-spec file.
+fn run_scenario(file: &str, seed: u64, json: bool) -> Result<String, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let spec = rperf::ScenarioSpec::parse(&text).map_err(|e| format!("{file}:{e}"))?;
+    spec.validate().map_err(|e| format!("{file}: {e}"))?;
+    let out = rperf::execute(&spec, seed);
+    Ok(if json {
+        out.to_json()
+    } else {
+        render_outcome(&out)
+    })
+}
+
+/// Human-readable rendering of a scenario outcome, one line per role.
+fn render_outcome(out: &rperf::ScenarioOutcome) -> String {
+    use rperf::RoleReport;
+    let mut text = format!(
+        "scenario {}  seed={}  end={:.3} ms",
+        out.name,
+        out.seed,
+        out.end.as_ps() as f64 / 1e9,
+    );
+    for (node, r) in &out.reports {
+        let line = match r {
+            RoleReport::RPerf(rep) => format!(
+                "rperf        RTT p50 {:.3} us | p99.9 {:.3} us over {} probes",
+                rep.summary.p50_us(),
+                rep.summary.p999_us(),
+                rep.iterations,
+            ),
+            RoleReport::Latency(s) => format!(
+                "latency      RTT p50 {:.3} us | p99.9 {:.3} us",
+                s.p50_us(),
+                s.p999_us(),
+            ),
+            RoleReport::Qperf(rep) => format!(
+                "qperf        avg {:.3} us over {} iterations",
+                rep.avg_us, rep.iterations,
+            ),
+            RoleReport::BsgGbps(g) => format!("bsg          goodput {g:.2} Gbps"),
+            RoleReport::PretendGbps(g) => format!("pretend-lsg  goodput {g:.2} Gbps"),
+            RoleReport::Sink { recvs } => format!("sink         {recvs} messages delivered"),
+            RoleReport::Server => "server".to_string(),
+        };
+        text.push_str(&format!("\nnode {node:<3} {line}"));
+    }
+    text
+}
+
+/// Executes a parsed command; `Err` carries the message for stderr (a
+/// missing or malformed scenario file) and a non-zero exit code.
+///
+/// # Errors
+///
+/// Only `scenario` can fail: unreadable file, syntax error (with the
+/// offending line number), or a spec that fails validation.
+pub fn run(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Scenario { file, seed, json } => run_scenario(file, *seed, *json),
+        other => Ok(execute(other)),
+    }
+}
+
+/// Executes a parsed command and returns the text to print (scenario
+/// failures are folded into the returned text; [`run`] keeps them as
+/// `Err` for exit codes).
 pub fn execute(cmd: &Command) -> String {
     match cmd {
         Command::Help => USAGE.to_string(),
+        Command::Scenario { file, seed, json } => {
+            run_scenario(file, *seed, *json).unwrap_or_else(|e| format!("error: {e}"))
+        }
         Command::Lat {
             payload,
             no_switch,
@@ -711,5 +822,88 @@ mod tests {
     fn perftest_refuses_no_switch() {
         let cmd = parse(&args("lat --tool perftest --no-switch --duration 1")).unwrap();
         assert!(execute(&cmd).contains("not supported"));
+    }
+
+    #[test]
+    fn parses_scenario_command() {
+        let cmd = parse(&args("scenario exp.scn --seed 7 --json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                file: "exp.scn".into(),
+                seed: 7,
+                json: true,
+            }
+        );
+        assert!(parse(&args("scenario")).is_err(), "missing file path");
+        assert!(parse(&args("scenario --json")).is_err(), "flag before path");
+        assert!(parse(&args("scenario exp.scn --bogus")).is_err());
+    }
+
+    /// A scratch file inside the workspace target directory.
+    fn scratch_file(name: &str, contents: &str) -> String {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp");
+        std::fs::create_dir_all(&dir).expect("create target/tmp");
+        let path = dir.join(name);
+        std::fs::write(&path, contents).expect("write scratch spec");
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn runs_a_scenario_file_end_to_end() {
+        let file = scratch_file(
+            "cli_probe.scn",
+            "name = \"probe\"\nwarmup_us = 50\nduration_us = 400\n\n\
+             [topology]\nkind = \"single_switch\"\nhosts = 2\n\n\
+             [[role]]\nnode = 0\nkind = \"rperf\"\ntarget = 1\n\n\
+             [[role]]\nnode = 1\nkind = \"sink\"\n",
+        );
+        let text = run(&Command::Scenario {
+            file: file.clone(),
+            seed: 1,
+            json: false,
+        })
+        .unwrap();
+        assert!(text.contains("rperf"), "{text}");
+        assert!(text.contains("messages delivered"), "{text}");
+        let json = run(&Command::Scenario {
+            file,
+            seed: 1,
+            json: true,
+        })
+        .unwrap();
+        assert!(json.starts_with("{\"scenario\":\"probe\""), "{json}");
+    }
+
+    #[test]
+    fn scenario_failures_are_errors_with_context() {
+        let missing = run(&Command::Scenario {
+            file: "no/such/file.scn".into(),
+            seed: 1,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(missing.contains("no/such/file.scn"), "{missing}");
+
+        let bad = scratch_file("cli_bad.scn", "name = \"x\"\nbogus_key = 1\n");
+        let syntax = run(&Command::Scenario {
+            file: bad.clone(),
+            seed: 1,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(syntax.contains("line 2"), "{syntax}");
+
+        let invalid = scratch_file(
+            "cli_invalid.scn",
+            "[topology]\nkind = \"direct_pair\"\n\n[[role]]\nnode = 5\nkind = \"sink\"\n",
+        );
+        let semantic = run(&Command::Scenario {
+            file: invalid,
+            seed: 1,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(semantic.contains("2 hosts"), "{semantic}");
     }
 }

@@ -5,10 +5,16 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match rperf_cli::parse(&args) {
-        Ok(cmd) => {
-            println!("{}", rperf_cli::execute(&cmd));
-            ExitCode::SUCCESS
-        }
+        Ok(cmd) => match rperf_cli::run(&cmd) {
+            Ok(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Err(e) => {
             eprintln!("error: {e}\n\n{}", rperf_cli::USAGE);
             ExitCode::FAILURE

@@ -1,0 +1,373 @@
+//! The generic scenario executor: one code path from a [`ScenarioSpec`]
+//! to measurements.
+//!
+//! [`execute`] builds the fabric for the spec's topology via
+//! [`FabricBuilder`], attaches one application per role through the
+//! workload factory, runs the simulation over the spec's window and
+//! collects a per-role [`RoleReport`]. Every experiment in the suite —
+//! each paper figure, the CLI subcommands, and arbitrary user-written
+//! scenario files — goes through this function, so there is exactly one
+//! place that turns a traffic matrix into applications.
+
+use rperf_fabric::{FabricBuilder, Sim};
+use rperf_model::ClusterConfig;
+use rperf_sim::{SimDuration, SimTime};
+use rperf_stats::{json, LatencySummary};
+use rperf_workloads::{build_workload, Bsg, ClosedLoopPing, PretendLsg, Sink, WorkloadRole};
+
+use crate::perftest::{PerftestClient, PerftestConfig, PingPongServer};
+use crate::qperf::{QperfClient, QperfConfig, QperfReport};
+use crate::rperf_app::{RPerf, RPerfConfig, RPerfReport};
+use crate::spec::{QosMode, Role, RoleSpec, ScenarioSpec};
+
+/// What one role measured.
+#[derive(Debug, Clone)]
+pub enum RoleReport {
+    /// An RPerf instance's switch-RTT distribution.
+    RPerf(RPerfReport),
+    /// An application-level RTT distribution (LSG ping or perftest).
+    Latency(LatencySummary),
+    /// What qperf reports (average only).
+    Qperf(QperfReport),
+    /// A BSG's goodput in Gbps over the measurement window.
+    BsgGbps(f64),
+    /// The pretend LSG's goodput in Gbps.
+    PretendGbps(f64),
+    /// Messages the sink delivered.
+    Sink {
+        /// Delivery count over the whole run.
+        recvs: u64,
+    },
+    /// A passive server with nothing to report.
+    Server,
+}
+
+impl RoleReport {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            RoleReport::RPerf(_) => "rperf",
+            RoleReport::Latency(_) => "latency",
+            RoleReport::Qperf(_) => "qperf",
+            RoleReport::BsgGbps(_) => "bsg",
+            RoleReport::PretendGbps(_) => "pretend_lsg",
+            RoleReport::Sink { .. } => "sink",
+            RoleReport::Server => "server",
+        }
+    }
+}
+
+/// Everything one scenario run measured, in role-table order.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The spec's name.
+    pub name: String,
+    /// The experiment seed the run used.
+    pub seed: u64,
+    /// When the run stopped (warm-up + measurement window).
+    pub end: SimTime,
+    /// One report per role, keyed by node, in spec order.
+    pub reports: Vec<(usize, RoleReport)>,
+}
+
+impl ScenarioOutcome {
+    fn report_of(&self, node: usize) -> Option<&RoleReport> {
+        self.reports
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, r)| r)
+    }
+
+    /// The RPerf report of the instance on `node`, if one ran there.
+    pub fn rperf(&self, node: usize) -> Option<&RPerfReport> {
+        match self.report_of(node) {
+            Some(RoleReport::RPerf(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The RTT summary measured on `node` (LSG ping or perftest client).
+    pub fn latency(&self, node: usize) -> Option<&LatencySummary> {
+        match self.report_of(node) {
+            Some(RoleReport::Latency(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The qperf report of the client on `node`.
+    pub fn qperf(&self, node: usize) -> Option<&QperfReport> {
+        match self.report_of(node) {
+            Some(RoleReport::Qperf(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The goodput of the generator (BSG or pretend LSG) on `node`.
+    pub fn gbps(&self, node: usize) -> Option<f64> {
+        match self.report_of(node) {
+            Some(RoleReport::BsgGbps(g)) | Some(RoleReport::PretendGbps(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Messages delivered to the sink on `node`.
+    pub fn recvs(&self, node: usize) -> Option<u64> {
+        match self.report_of(node) {
+            Some(RoleReport::Sink { recvs }) => Some(*recvs),
+            _ => None,
+        }
+    }
+
+    /// Serializes the outcome through the deterministic JSON writer: the
+    /// bytes are a pure function of the measurements.
+    pub fn to_json(&self) -> String {
+        let summary_json = |s: &LatencySummary| {
+            json::object([
+                ("count", json::uint(s.count)),
+                ("min_ps", json::uint(s.min_ps)),
+                ("mean_ps", json::num(s.mean_ps)),
+                ("p50_ps", json::uint(s.p50_ps)),
+                ("p90_ps", json::uint(s.p90_ps)),
+                ("p99_ps", json::uint(s.p99_ps)),
+                ("p999_ps", json::uint(s.p999_ps)),
+                ("max_ps", json::uint(s.max_ps)),
+            ])
+        };
+        let reports = self.reports.iter().map(|(node, r)| {
+            let mut fields = vec![
+                ("node", json::uint(*node as u64)),
+                ("kind", json::string(r.kind_name())),
+            ];
+            match r {
+                RoleReport::RPerf(rep) => {
+                    fields.push(("rtt_ps", summary_json(&rep.summary)));
+                    fields.push(("iterations", json::uint(rep.iterations)));
+                    fields.push(("inversions", json::uint(rep.inversions)));
+                }
+                RoleReport::Latency(s) => fields.push(("rtt_ps", summary_json(s))),
+                RoleReport::Qperf(rep) => {
+                    fields.push(("avg_us", json::num(rep.avg_us)));
+                    fields.push(("iterations", json::uint(rep.iterations)));
+                }
+                RoleReport::BsgGbps(g) | RoleReport::PretendGbps(g) => {
+                    fields.push(("gbps", json::num(*g)));
+                }
+                RoleReport::Sink { recvs } => fields.push(("recvs", json::uint(*recvs))),
+                RoleReport::Server => {}
+            }
+            json::object(fields)
+        });
+        json::object([
+            ("scenario", json::string(&self.name)),
+            ("seed", json::uint(self.seed)),
+            ("end_ps", json::uint(self.end.as_ps())),
+            ("reports", json::array(reports)),
+        ])
+    }
+}
+
+/// Builds the application for one role.
+fn build_app(spec: &ScenarioSpec, r: &RoleSpec, seed: u64) -> Box<dyn rperf_fabric::App> {
+    let sl = r.role.resolved_sl(spec.qos);
+    match &r.role {
+        Role::RPerf {
+            target,
+            payload,
+            seed_salt,
+            ..
+        } => Box::new(RPerf::new(
+            RPerfConfig::new(*target)
+                .with_payload(*payload)
+                .with_sl(sl)
+                .with_warmup(spec.warmup)
+                .with_seed(seed ^ *seed_salt),
+        )),
+        Role::Lsg {
+            target, payload, ..
+        } => build_workload(
+            &WorkloadRole::Lsg {
+                target: *target,
+                payload: *payload,
+                sl,
+            },
+            spec.warmup,
+        ),
+        Role::Bsg {
+            target,
+            payload,
+            window,
+            batch,
+            ..
+        } => build_workload(
+            &WorkloadRole::Bsg {
+                target: *target,
+                payload: *payload,
+                window: *window,
+                batch: *batch,
+                sl,
+            },
+            spec.warmup,
+        ),
+        Role::PretendLsg { target, chunk, .. } => build_workload(
+            &WorkloadRole::PretendLsg {
+                target: *target,
+                chunk: *chunk,
+                sl,
+            },
+            spec.warmup,
+        ),
+        Role::Perftest { peer, payload } => Box::new(PerftestClient::new(
+            PerftestConfig::new(*peer)
+                .with_payload(*payload)
+                .with_warmup(spec.warmup),
+        )),
+        Role::PerftestServer { peer, payload } => Box::new(PingPongServer::new(
+            PerftestConfig::new(*peer)
+                .with_payload(*payload)
+                .with_warmup(spec.warmup),
+        )),
+        Role::Qperf { peer, payload } => Box::new(QperfClient::new(
+            QperfConfig::new(*peer)
+                .with_payload(*payload)
+                .with_warmup(spec.warmup),
+        )),
+        Role::Sink => build_workload(&WorkloadRole::Sink, spec.warmup),
+    }
+}
+
+/// Reads the report of one role back out of the finished simulation.
+fn collect(sim: &Sim, r: &RoleSpec, end: SimTime) -> RoleReport {
+    match &r.role {
+        Role::RPerf { .. } => RoleReport::RPerf(sim.app_as::<RPerf>(r.node).report()),
+        Role::Lsg { .. } => RoleReport::Latency(LatencySummary::from_histogram(
+            sim.app_as::<ClosedLoopPing>(r.node).histogram(),
+        )),
+        Role::Bsg { .. } => RoleReport::BsgGbps(sim.app_as::<Bsg>(r.node).gbps_until(end.as_ps())),
+        Role::PretendLsg { .. } => RoleReport::PretendGbps(
+            sim.app_as::<PretendLsg>(r.node)
+                .bsg()
+                .gbps_until(end.as_ps()),
+        ),
+        Role::Perftest { .. } => {
+            RoleReport::Latency(sim.app_as::<PerftestClient>(r.node).summary())
+        }
+        Role::PerftestServer { .. } => RoleReport::Server,
+        Role::Qperf { .. } => RoleReport::Qperf(sim.app_as::<QperfClient>(r.node).report()),
+        Role::Sink => RoleReport::Sink {
+            recvs: sim.app_as::<Sink>(r.node).recvs(),
+        },
+    }
+}
+
+/// Runs a scenario with the configuration derived from its device
+/// profile and scheduling policy.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`ScenarioSpec::validate`] — callers taking
+/// untrusted input (the CLI) validate first and report the error.
+pub fn execute(spec: &ScenarioSpec, seed: u64) -> ScenarioOutcome {
+    execute_with_config(
+        spec,
+        spec.profile.cluster_config().with_policy(spec.policy),
+        seed,
+    )
+}
+
+/// Runs a scenario against an explicit cluster configuration (ablations
+/// and extension studies mutate device parameters directly; the spec's
+/// `profile` and `policy` fields are ignored here).
+///
+/// The QoS mode still applies: a non-shared mode installs the dedicated
+/// SL1→VL1 tables on top of `cfg`, and every pretend-LSG node gets the
+/// adversary's hot posting engine (65 ns WQE engine) as an RNIC override.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`ScenarioSpec::validate`].
+pub fn execute_with_config(spec: &ScenarioSpec, cfg: ClusterConfig, seed: u64) -> ScenarioOutcome {
+    if let Err(msg) = spec.validate() {
+        panic!("invalid scenario `{}`: {msg}", spec.name);
+    }
+    let mut cfg = cfg;
+    if spec.qos != QosMode::SharedSl {
+        cfg = cfg.with_dedicated_sl();
+    }
+    let mut builder = FabricBuilder::new(cfg.clone(), seed);
+    for r in &spec.roles {
+        if matches!(r.role, Role::PretendLsg { .. }) {
+            // The adversary optimizes its posting path (multiple QPs plus
+            // aggressive doorbell batching); modelled as a faster WQE
+            // engine.
+            let mut hot = cfg.rnic.clone();
+            hot.wqe_engine = SimDuration::from_ns(65);
+            builder = builder.with_rnic_override(r.node, hot);
+        }
+    }
+    let mut sim = Sim::new(builder.build(&spec.topology));
+    for r in &spec.roles {
+        sim.add_app(r.node, build_app(spec, r, seed));
+    }
+    sim.start();
+    let end = SimTime::ZERO + spec.warmup + spec.duration;
+    sim.run_until(end);
+    let reports = spec
+        .roles
+        .iter()
+        .map(|r| (r.node, collect(&sim, r, end)))
+        .collect();
+    ScenarioOutcome {
+        name: spec.name.clone(),
+        seed,
+        end,
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DeviceProfile, SlSpec};
+    use rperf_fabric::Topology;
+
+    fn probe_spec() -> ScenarioSpec {
+        ScenarioSpec::new("probe", Topology::SingleSwitch { hosts: 2 })
+            .with_profile(DeviceProfile::Hardware)
+            .with_window(SimDuration::from_us(50), SimDuration::from_us(500))
+            .with_role(
+                0,
+                Role::RPerf {
+                    target: 1,
+                    payload: 64,
+                    sl: SlSpec::Auto,
+                    seed_salt: 0xA5A5,
+                },
+            )
+            .with_role(1, Role::Sink)
+    }
+
+    #[test]
+    fn executes_a_probe_scenario() {
+        let out = execute(&probe_spec(), 1);
+        let rep = out.rperf(0).expect("rperf report on node 0");
+        assert!(rep.iterations > 50, "iterations {}", rep.iterations);
+        assert!(out.recvs(1).expect("sink report") > 0);
+        assert_eq!(out.end, SimTime::ZERO + SimDuration::from_us(550));
+    }
+
+    #[test]
+    fn outcome_serializes_deterministically() {
+        let a = execute(&probe_spec(), 7).to_json();
+        let b = execute(&probe_spec(), 7).to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"scenario\":\"probe\""), "{a}");
+        assert!(a.contains("\"kind\":\"rperf\""), "{a}");
+        assert!(a.contains("\"kind\":\"sink\""), "{a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn invalid_specs_are_rejected() {
+        let bad = ScenarioSpec::new("bad", Topology::DirectPair).with_role(9, Role::Sink);
+        let _ = execute(&bad, 1);
+    }
+}

@@ -23,18 +23,27 @@
 //!   includes the remote payload DMA (Fig. 1b) and heavyweight
 //!   timestamping; reports only averages.
 //!
-//! The [`scenario`] module assembles every experimental setup in the
-//! paper's evaluation (one-to-one, converged, multi-hop, QoS, gaming) into
-//! runnable functions returning the figures' data points.
+//! Experiments are described declaratively: a [`spec::ScenarioSpec`] is a
+//! plain-data IR — topology, traffic matrix of typed roles, QoS mode,
+//! scheduling policy, run window — and [`executor::execute`] is the one
+//! generic function turning a spec plus a seed into a
+//! [`executor::ScenarioOutcome`]. Specs also parse from a text format, so
+//! arbitrary experiments run from files without recompiling. The
+//! [`scenario`] module holds the paper's setups as spec tables plus thin
+//! wrappers keeping the historical function signatures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
 mod perftest;
 mod qperf;
 mod rperf_app;
 pub mod scenario;
+pub mod spec;
 
+pub use executor::{execute, execute_with_config, RoleReport, ScenarioOutcome};
 pub use perftest::{PerftestClient, PerftestConfig, PingPongServer};
 pub use qperf::{QperfClient, QperfConfig, QperfReport};
 pub use rperf_app::{RPerf, RPerfConfig, RPerfReport};
+pub use spec::{DeviceProfile, QosMode, Role, RoleSpec, ScenarioSpec, SlSpec, SpecError};

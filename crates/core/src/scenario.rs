@@ -1,22 +1,25 @@
-//! Every experimental setup in the paper's evaluation, as runnable
-//! scenarios.
+//! Every experimental setup in the paper's evaluation, as declarative
+//! scenario tables.
 //!
-//! Each function builds the fabric, attaches the right applications,
-//! warms up, runs for the requested measurement window and returns the
-//! data points the corresponding figure plots. The figure harness in
+//! Each setup is a [`ScenarioSpec`] built by the constant tables in
+//! [`specs`]; the wrappers in this module keep the historical function
+//! signatures (a [`RunSpec`] in, the figure's data points out) and route
+//! everything through the one generic executor
+//! ([`crate::executor::execute_with_config`]). The figure harness in
 //! `rperf-bench` sweeps parameters and averages over seeds (the paper
 //! averages three runs).
 
-use rperf_fabric::{Fabric, FabricBuilder, Sim};
 use rperf_model::config::SchedPolicy;
-use rperf_model::{ClusterConfig, ServiceLevel};
-use rperf_sim::{SimDuration, SimTime};
+use rperf_model::ClusterConfig;
+use rperf_sim::SimDuration;
 use rperf_stats::LatencySummary;
-use rperf_workloads::{Bsg, BsgConfig, PretendLsg, Sink};
 
-use crate::perftest::{PerftestClient, PerftestConfig, PingPongServer};
-use crate::qperf::{QperfClient, QperfConfig, QperfReport};
-use crate::rperf_app::{RPerf, RPerfConfig, RPerfReport};
+use crate::executor::{execute_with_config, ScenarioOutcome};
+use crate::qperf::QperfReport;
+use crate::rperf_app::RPerfReport;
+use crate::spec::ScenarioSpec;
+
+pub use crate::spec::QosMode;
 
 /// Shared run parameters.
 #[derive(Debug, Clone)]
@@ -55,21 +58,15 @@ impl RunSpec {
         self
     }
 
-    fn end(&self) -> SimTime {
-        SimTime::ZERO + self.warmup + self.duration
+    /// Runs a scenario table under this run's configuration, window and
+    /// seed — the one execution path shared by every wrapper below.
+    fn run(&self, table: ScenarioSpec) -> ScenarioOutcome {
+        execute_with_config(
+            &table.with_window(self.warmup, self.duration),
+            self.cfg.clone(),
+            self.seed,
+        )
     }
-}
-
-/// QoS configuration of the converged scenarios (Section VII–VIII).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum QosMode {
-    /// Everything shares SL0/VL0 (Section VII).
-    SharedSl,
-    /// LSG traffic on SL1 → high-priority VL1 (Section VIII-C).
-    DedicatedSl,
-    /// Dedicated SL plus a bandwidth hog gaming the latency class
-    /// (Section VIII-C, "Gaming the dedicated SL/VL setup").
-    DedicatedSlWithPretend,
 }
 
 /// Outcome of a converged-traffic run.
@@ -85,177 +82,23 @@ pub struct ConvergedOutcome {
     pub total_gbps: f64,
 }
 
-/// Fig. 4 data: the RTT measured by RPerf, one-to-one, with or without
-/// the switch.
-pub fn one_to_one_rperf(spec: &RunSpec, through_switch: bool, payload: u64) -> RPerfReport {
-    let fabric = if through_switch {
-        Fabric::single_switch(spec.cfg.clone(), 2, spec.seed)
-    } else {
-        Fabric::direct_pair(spec.cfg.clone(), spec.seed)
-    };
-    let mut sim = Sim::new(fabric);
-    sim.add_app(
-        0,
-        Box::new(RPerf::new(
-            RPerfConfig::new(1)
-                .with_payload(payload)
-                .with_warmup(spec.warmup)
-                .with_seed(spec.seed ^ 0xA5A5),
-        )),
-    );
-    sim.add_app(1, Box::new(Sink::new()));
-    sim.start();
-    sim.run_until(spec.end());
-    sim.app_as::<RPerf>(0).report()
-}
-
-/// Fig. 5 data: one-to-one BSG goodput in Gbps, with or without the
-/// switch.
-pub fn one_to_one_bandwidth(spec: &RunSpec, through_switch: bool, payload: u64) -> f64 {
-    let fabric = if through_switch {
-        Fabric::single_switch(spec.cfg.clone(), 2, spec.seed)
-    } else {
-        Fabric::direct_pair(spec.cfg.clone(), spec.seed)
-    };
-    let mut sim = Sim::new(fabric);
-    sim.add_app(
-        0,
-        Box::new(Bsg::new(
-            BsgConfig::new(1, payload).with_warmup(spec.warmup),
-        )),
-    );
-    sim.add_app(1, Box::new(Sink::new()));
-    sim.start();
-    let end = spec.end();
-    sim.run_until(end);
-    sim.app_as::<Bsg>(0).gbps_until(end.as_ps())
-}
-
-/// Fig. 6 data (perftest side): end-to-end ping-pong RTT through the
-/// switch.
-pub fn one_to_one_perftest(spec: &RunSpec, payload: u64) -> LatencySummary {
-    let mut sim = Sim::new(Fabric::single_switch(spec.cfg.clone(), 2, spec.seed));
-    let client_cfg = PerftestConfig::new(1)
-        .with_payload(payload)
-        .with_warmup(spec.warmup);
-    let mut server_cfg = client_cfg.clone();
-    server_cfg.peer = 0;
-    sim.add_app(0, Box::new(PerftestClient::new(client_cfg)));
-    sim.add_app(1, Box::new(PingPongServer::new(server_cfg)));
-    sim.start();
-    sim.run_until(spec.end());
-    sim.app_as::<PerftestClient>(0).summary()
-}
-
-/// Fig. 6 data (qperf side): post-poll WRITE RTT through the switch.
-/// Returns what the tool reports (average only).
-pub fn one_to_one_qperf(spec: &RunSpec, payload: u64) -> QperfReport {
-    let mut sim = Sim::new(Fabric::single_switch(spec.cfg.clone(), 2, spec.seed));
-    sim.add_app(
-        0,
-        Box::new(QperfClient::new(
-            QperfConfig::new(1)
-                .with_payload(payload)
-                .with_warmup(spec.warmup),
-        )),
-    );
-    sim.add_app(1, Box::new(Sink::new()));
-    sim.start();
-    sim.run_until(spec.end());
-    sim.app_as::<QperfClient>(0).report()
-}
-
-/// The converged many-to-one scenario of Sections VII and VIII: `n_bsgs`
-/// bandwidth flows (payload `bsg_payload`, doorbell batch `bsg_batch`)
-/// plus optionally an RPerf-instrumented LSG, all targeting one
-/// destination. `qos` selects the Section VIII-C configurations.
-///
-/// Node layout: BSGs first, then (gaming runs) the pretend LSG, then the
-/// LSG, destination last — seven nodes in the paper's full setup.
-pub fn converged(
-    spec: &RunSpec,
-    n_bsgs: usize,
-    bsg_payload: u64,
-    bsg_batch: usize,
-    with_lsg: bool,
-    qos: QosMode,
-) -> ConvergedOutcome {
-    let mut cfg = spec.cfg.clone();
-    if qos != QosMode::SharedSl {
-        cfg = cfg.with_dedicated_sl();
+/// Collapses a scenario outcome into the converged-figure shape: BSG
+/// goodputs in role order, the pretend LSG and RPerf reports if present,
+/// and the aggregate.
+pub fn converged_outcome(out: &ScenarioOutcome) -> ConvergedOutcome {
+    use crate::executor::RoleReport;
+    let mut lsg = None;
+    let mut per_bsg_gbps = Vec::new();
+    let mut pretend_gbps = None;
+    for (_, report) in &out.reports {
+        match report {
+            RoleReport::BsgGbps(g) => per_bsg_gbps.push(*g),
+            RoleReport::PretendGbps(g) => pretend_gbps = Some(*g),
+            RoleReport::RPerf(r) => lsg = Some(r.clone()),
+            _ => {}
+        }
     }
-    let pretend = qos == QosMode::DedicatedSlWithPretend;
-
-    let n_nodes = n_bsgs + usize::from(pretend) + usize::from(with_lsg) + 1;
-    let pretend_idx = n_bsgs; // valid when `pretend`
-    let lsg_idx = n_bsgs + usize::from(pretend);
-    let dest = n_nodes - 1;
-
-    let mut builder = FabricBuilder::new(cfg.clone(), spec.seed);
-    if pretend {
-        // The adversary optimizes its posting path (multiple QPs plus
-        // aggressive doorbell batching); modelled as a faster WQE engine.
-        let mut hot = cfg.rnic.clone();
-        hot.wqe_engine = SimDuration::from_ns(65);
-        builder = builder.with_rnic_override(pretend_idx, hot);
-    }
-    let fabric = builder.single_switch(n_nodes);
-    let mut sim = Sim::new(fabric);
-
-    for b in 0..n_bsgs {
-        sim.add_app(
-            b,
-            Box::new(Bsg::new(
-                BsgConfig::new(dest, bsg_payload)
-                    .with_batch(bsg_batch)
-                    .with_warmup(spec.warmup),
-            )),
-        );
-    }
-    if pretend {
-        sim.add_app(
-            pretend_idx,
-            Box::new(PretendLsg::new(
-                dest,
-                256,
-                ServiceLevel::new(1),
-                spec.warmup,
-            )),
-        );
-    }
-    if with_lsg {
-        let sl = if qos == QosMode::SharedSl {
-            ServiceLevel::new(0)
-        } else {
-            ServiceLevel::new(1)
-        };
-        sim.add_app(
-            lsg_idx,
-            Box::new(RPerf::new(
-                RPerfConfig::new(dest)
-                    .with_sl(sl)
-                    .with_warmup(spec.warmup)
-                    .with_seed(spec.seed ^ 0x15C),
-            )),
-        );
-    }
-    sim.add_app(dest, Box::new(Sink::new()));
-
-    sim.start();
-    let end = spec.end();
-    sim.run_until(end);
-
-    let per_bsg_gbps: Vec<f64> = (0..n_bsgs)
-        .map(|b| sim.app_as::<Bsg>(b).gbps_until(end.as_ps()))
-        .collect();
-    let pretend_gbps = pretend.then(|| {
-        sim.app_as::<PretendLsg>(pretend_idx)
-            .bsg()
-            .gbps_until(end.as_ps())
-    });
-    let lsg = with_lsg.then(|| sim.app_as::<RPerf>(lsg_idx).report());
     let total_gbps = per_bsg_gbps.iter().sum::<f64>() + pretend_gbps.unwrap_or(0.0);
-
     ConvergedOutcome {
         lsg,
         per_bsg_gbps,
@@ -264,87 +107,279 @@ pub fn converged(
     }
 }
 
-/// The multi-hop scenario of Fig. 11: two switches in series; two BSGs
-/// and the LSG upstream, three BSGs downstream, destination downstream.
-/// All BSGs send 4096-byte messages.
-pub fn multihop(spec: &RunSpec, policy: SchedPolicy) -> ConvergedOutcome {
-    let cfg = spec.cfg.clone().with_policy(policy);
-    // Upstream: nodes 0,1 (BSG), 2 (LSG). Downstream: 3,4,5 (BSG), 6 (dest).
-    let fabric = Fabric::two_switch(cfg, 3, 4, spec.seed);
-    let dest = 6;
-    let mut sim = Sim::new(fabric);
-    for b in [0usize, 1, 3, 4, 5] {
-        sim.add_app(
-            b,
-            Box::new(Bsg::new(
-                BsgConfig::new(dest, 4096).with_warmup(spec.warmup),
-            )),
-        );
-    }
-    sim.add_app(
-        2,
-        Box::new(RPerf::new(
-            RPerfConfig::new(dest)
-                .with_warmup(spec.warmup)
-                .with_seed(spec.seed ^ 0x2207),
-        )),
-    );
-    sim.add_app(dest, Box::new(Sink::new()));
-    sim.start();
-    let end = spec.end();
-    sim.run_until(end);
+/// The paper's experimental setups as plain-data scenario tables.
+///
+/// Each function returns a [`ScenarioSpec`] with the suite's default run
+/// window; callers pick warm-up, measurement window, configuration and
+/// seed at execution time. The node layouts, service levels and RPerf
+/// seed salts reproduce the historical hand-coded setups exactly (the
+/// golden figure test in `rperf-bench` pins this byte-for-byte).
+pub mod specs {
+    use rperf_fabric::Topology;
+    use rperf_model::config::SchedPolicy;
+    use rperf_subnet::TopologySpec;
 
-    let per_bsg_gbps: Vec<f64> = [0usize, 1, 3, 4, 5]
-        .iter()
-        .map(|&b| sim.app_as::<Bsg>(b).gbps_until(end.as_ps()))
-        .collect();
-    let total_gbps = per_bsg_gbps.iter().sum();
-    ConvergedOutcome {
-        lsg: Some(sim.app_as::<RPerf>(2).report()),
-        per_bsg_gbps,
-        pretend_gbps: None,
-        total_gbps,
+    use crate::spec::{QosMode, Role, ScenarioSpec, SlSpec};
+
+    /// Fig. 4: RPerf one-to-one, with or without the switch.
+    pub fn one_to_one_rperf(through_switch: bool, payload: u64) -> ScenarioSpec {
+        let topology = if through_switch {
+            Topology::SingleSwitch { hosts: 2 }
+        } else {
+            Topology::DirectPair
+        };
+        ScenarioSpec::new("one-to-one-rperf", topology)
+            .with_role(
+                0,
+                Role::RPerf {
+                    target: 1,
+                    payload,
+                    sl: SlSpec::Auto,
+                    seed_salt: 0xA5A5,
+                },
+            )
+            .with_role(1, Role::Sink)
+    }
+
+    /// Fig. 5: one BSG's goodput, with or without the switch.
+    pub fn one_to_one_bandwidth(through_switch: bool, payload: u64) -> ScenarioSpec {
+        let topology = if through_switch {
+            Topology::SingleSwitch { hosts: 2 }
+        } else {
+            Topology::DirectPair
+        };
+        ScenarioSpec::new("one-to-one-bandwidth", topology)
+            .with_role(
+                0,
+                Role::Bsg {
+                    target: 1,
+                    payload,
+                    window: 128,
+                    batch: 1,
+                    sl: SlSpec::Auto,
+                },
+            )
+            .with_role(1, Role::Sink)
+    }
+
+    /// Fig. 6 (perftest side): software ping-pong through the switch.
+    pub fn one_to_one_perftest(payload: u64) -> ScenarioSpec {
+        ScenarioSpec::new("one-to-one-perftest", Topology::SingleSwitch { hosts: 2 })
+            .with_role(0, Role::Perftest { peer: 1, payload })
+            .with_role(1, Role::PerftestServer { peer: 0, payload })
+    }
+
+    /// Fig. 6 (qperf side): post-poll WRITE through the switch.
+    pub fn one_to_one_qperf(payload: u64) -> ScenarioSpec {
+        ScenarioSpec::new("one-to-one-qperf", Topology::SingleSwitch { hosts: 2 })
+            .with_role(0, Role::Qperf { peer: 1, payload })
+            .with_role(1, Role::Sink)
+    }
+
+    /// The converged many-to-one setup of Sections VII and VIII: `n_bsgs`
+    /// bandwidth flows plus optionally an RPerf-instrumented LSG, all
+    /// targeting one destination; `qos` selects the Section VIII-C
+    /// configurations (a gamed setup adds the pretend LSG).
+    ///
+    /// Node layout: BSGs first, then (gaming runs) the pretend LSG, then
+    /// the LSG, destination last — seven nodes in the paper's full setup.
+    pub fn converged(
+        n_bsgs: usize,
+        bsg_payload: u64,
+        bsg_batch: usize,
+        with_lsg: bool,
+        qos: QosMode,
+    ) -> ScenarioSpec {
+        let pretend = qos == QosMode::DedicatedSlWithPretend;
+        let n_nodes = n_bsgs + usize::from(pretend) + usize::from(with_lsg) + 1;
+        let dest = n_nodes - 1;
+        let mut spec =
+            ScenarioSpec::new("converged", Topology::SingleSwitch { hosts: n_nodes }).with_qos(qos);
+        for b in 0..n_bsgs {
+            spec = spec.with_role(
+                b,
+                Role::Bsg {
+                    target: dest,
+                    payload: bsg_payload,
+                    window: 128,
+                    batch: bsg_batch,
+                    sl: SlSpec::Auto,
+                },
+            );
+        }
+        if pretend {
+            spec = spec.with_role(
+                n_bsgs,
+                Role::PretendLsg {
+                    target: dest,
+                    chunk: 256,
+                    sl: SlSpec::Auto,
+                },
+            );
+        }
+        if with_lsg {
+            spec = spec.with_role(
+                n_bsgs + usize::from(pretend),
+                Role::RPerf {
+                    target: dest,
+                    payload: 64,
+                    sl: SlSpec::Auto,
+                    seed_salt: 0x15C,
+                },
+            );
+        }
+        spec.with_role(dest, Role::Sink)
+    }
+
+    /// The multi-hop setup of Fig. 11: two switches in series; two BSGs
+    /// and the LSG upstream, three BSGs downstream, destination
+    /// downstream. All BSGs send 4096-byte messages.
+    pub fn multihop(policy: SchedPolicy) -> ScenarioSpec {
+        let dest = 6;
+        let mut spec = ScenarioSpec::new(
+            "multihop",
+            Topology::TwoSwitch {
+                upstream: 3,
+                downstream: 4,
+            },
+        )
+        .with_policy(policy);
+        for b in [0usize, 1, 3, 4, 5] {
+            spec = spec.with_role(
+                b,
+                Role::Bsg {
+                    target: dest,
+                    payload: 4096,
+                    window: 128,
+                    batch: 1,
+                    sl: SlSpec::Auto,
+                },
+            );
+        }
+        spec.with_role(
+            2,
+            Role::RPerf {
+                target: dest,
+                payload: 64,
+                sl: SlSpec::Auto,
+                seed_salt: 0x2207,
+            },
+        )
+        .with_role(dest, Role::Sink)
+    }
+
+    /// Extension setup: the LSG probes a destination across a *chain* of
+    /// `n_switches` switches (LSG on the first, destination on the last),
+    /// with `bsgs_at_tail` bulk flows local to the destination switch.
+    pub fn chain_latency(n_switches: usize, bsgs_at_tail: usize) -> ScenarioSpec {
+        assert!(n_switches >= 1, "a chain needs at least one switch");
+        let mut hosts = vec![0usize; n_switches];
+        hosts[0] = 1; // the LSG
+        hosts[n_switches - 1] += bsgs_at_tail + 1; // BSGs + destination
+        let topo = TopologySpec::chain(n_switches, &hosts);
+        let dest = topo.hosts() - 1;
+        let mut spec = ScenarioSpec::new("chain-latency", Topology::Spec(topo)).with_role(
+            0,
+            Role::RPerf {
+                target: dest,
+                payload: 64,
+                sl: SlSpec::Auto,
+                seed_salt: 0xC4A1,
+            },
+        );
+        for b in 1..=bsgs_at_tail {
+            spec = spec.with_role(
+                b,
+                Role::Bsg {
+                    target: dest,
+                    payload: 4096,
+                    window: 128,
+                    batch: 1,
+                    sl: SlSpec::Auto,
+                },
+            );
+        }
+        spec.with_role(dest, Role::Sink)
     }
 }
 
+/// Fig. 4 data: the RTT measured by RPerf, one-to-one, with or without
+/// the switch.
+pub fn one_to_one_rperf(spec: &RunSpec, through_switch: bool, payload: u64) -> RPerfReport {
+    spec.run(specs::one_to_one_rperf(through_switch, payload))
+        .rperf(0)
+        .expect("rperf role on node 0")
+        .clone()
+}
+
+/// Fig. 5 data: one-to-one BSG goodput in Gbps, with or without the
+/// switch.
+pub fn one_to_one_bandwidth(spec: &RunSpec, through_switch: bool, payload: u64) -> f64 {
+    spec.run(specs::one_to_one_bandwidth(through_switch, payload))
+        .gbps(0)
+        .expect("bsg role on node 0")
+}
+
+/// Fig. 6 data (perftest side): end-to-end ping-pong RTT through the
+/// switch.
+pub fn one_to_one_perftest(spec: &RunSpec, payload: u64) -> LatencySummary {
+    *spec
+        .run(specs::one_to_one_perftest(payload))
+        .latency(0)
+        .expect("perftest client on node 0")
+}
+
+/// Fig. 6 data (qperf side): post-poll WRITE RTT through the switch.
+/// Returns what the tool reports (average only).
+pub fn one_to_one_qperf(spec: &RunSpec, payload: u64) -> QperfReport {
+    *spec
+        .run(specs::one_to_one_qperf(payload))
+        .qperf(0)
+        .expect("qperf client on node 0")
+}
+
+/// The converged many-to-one scenario of Sections VII and VIII (see
+/// [`specs::converged`] for the node layout).
+pub fn converged(
+    spec: &RunSpec,
+    n_bsgs: usize,
+    bsg_payload: u64,
+    bsg_batch: usize,
+    with_lsg: bool,
+    qos: QosMode,
+) -> ConvergedOutcome {
+    converged_outcome(&spec.run(specs::converged(
+        n_bsgs,
+        bsg_payload,
+        bsg_batch,
+        with_lsg,
+        qos,
+    )))
+}
+
+/// The multi-hop scenario of Fig. 11 (see [`specs::multihop`]).
+pub fn multihop(spec: &RunSpec, policy: SchedPolicy) -> ConvergedOutcome {
+    let out = execute_with_config(
+        &specs::multihop(policy).with_window(spec.warmup, spec.duration),
+        spec.cfg.clone().with_policy(policy),
+        spec.seed,
+    );
+    converged_outcome(&out)
+}
+
 /// Extension scenario: the LSG probes a destination across a *chain* of
-/// `n_switches` switches (LSG on the first, destination on the last),
-/// with `bsgs_at_tail` bulk flows local to the destination switch.
+/// `n_switches` switches, with `bsgs_at_tail` bulk flows local to the
+/// destination switch (see [`specs::chain_latency`]).
 ///
 /// With `bsgs_at_tail = 0` this measures how the zero-load RTT grows per
 /// hop (each switch adds its pipeline + arbitration latency twice per
 /// round trip); with bulk traffic it shows that congestion at the last
 /// hop dominates regardless of path length.
 pub fn chain_latency(spec: &RunSpec, n_switches: usize, bsgs_at_tail: usize) -> RPerfReport {
-    use rperf_subnet::TopologySpec;
-    assert!(n_switches >= 1, "a chain needs at least one switch");
-    let mut hosts = vec![0usize; n_switches];
-    hosts[0] = 1; // the LSG
-    hosts[n_switches - 1] += bsgs_at_tail + 1; // BSGs + destination
-    let topo = TopologySpec::chain(n_switches, &hosts);
-    let fabric = Fabric::from_spec(spec.cfg.clone(), &topo, spec.seed);
-    let dest = fabric.nodes() - 1;
-    let mut sim = Sim::new(fabric);
-    sim.add_app(
-        0,
-        Box::new(RPerf::new(
-            RPerfConfig::new(dest)
-                .with_warmup(spec.warmup)
-                .with_seed(spec.seed ^ 0xC4A1),
-        )),
-    );
-    for b in 1..=bsgs_at_tail {
-        sim.add_app(
-            b,
-            Box::new(Bsg::new(
-                BsgConfig::new(dest, 4096).with_warmup(spec.warmup),
-            )),
-        );
-    }
-    sim.add_app(dest, Box::new(Sink::new()));
-    sim.start();
-    sim.run_until(spec.end());
-    sim.app_as::<RPerf>(0).report()
+    spec.run(specs::chain_latency(n_switches, bsgs_at_tail))
+        .rperf(0)
+        .expect("rperf role on node 0")
+        .clone()
 }
 
 #[cfg(test)]
@@ -431,5 +466,24 @@ mod tests {
             dedicated.total_gbps,
             shared.total_gbps
         );
+    }
+
+    #[test]
+    fn wrappers_match_direct_execution() {
+        // The RunSpec wrappers and the raw executor must agree exactly.
+        let spec = RunSpec::new(ClusterConfig::hardware())
+            .with_duration(SimDuration::from_us(500))
+            .with_seed(11);
+        let wrapped = one_to_one_rperf(&spec, true, 256);
+        let direct = crate::executor::execute_with_config(
+            &specs::one_to_one_rperf(true, 256).with_window(spec.warmup, spec.duration),
+            spec.cfg.clone(),
+            spec.seed,
+        );
+        assert_eq!(
+            wrapped.summary.p999_ps,
+            direct.rperf(0).unwrap().summary.p999_ps
+        );
+        assert_eq!(wrapped.iterations, direct.rperf(0).unwrap().iterations);
     }
 }

@@ -1,0 +1,193 @@
+//! Property tests for the scenario text format: any spec the generator
+//! produces round-trips losslessly through `to_text` → `parse`, the
+//! canonical emission is a fixed point, and malformed inputs are
+//! rejected with the offending line number.
+
+use proptest::prelude::*;
+use rperf::{DeviceProfile, QosMode, Role, ScenarioSpec, SlSpec};
+use rperf_fabric::Topology;
+use rperf_model::config::SchedPolicy;
+use rperf_sim::SimDuration;
+use rperf_subnet::TopologySpec;
+
+/// splitmix64: turns one sampled u64 into an arbitrary number of
+/// independent per-node draws without pulling in collection strategies.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn sl_for(bits: u64) -> SlSpec {
+    if bits.is_multiple_of(3) {
+        SlSpec::Auto
+    } else {
+        SlSpec::Fixed(((bits >> 2) % 16) as u8)
+    }
+}
+
+/// A sender role aimed at `target`, with every field exercised.
+fn role_for(bits: u64, target: usize) -> Role {
+    let payload = 1 + (bits >> 8) % 8192;
+    match bits % 6 {
+        0 => Role::RPerf {
+            target,
+            payload,
+            sl: sl_for(bits >> 3),
+            seed_salt: mix(bits) & 0xFFFF,
+        },
+        1 => Role::Lsg {
+            target,
+            payload,
+            sl: sl_for(bits >> 3),
+        },
+        2 => Role::Bsg {
+            target,
+            payload,
+            window: 1 + ((bits >> 4) % 512) as usize,
+            batch: 1 + ((bits >> 13) % 8) as usize,
+            sl: sl_for(bits >> 3),
+        },
+        3 => Role::PretendLsg {
+            target,
+            chunk: 1 + (bits >> 8) % 2048,
+            sl: sl_for(bits >> 3),
+        },
+        4 => Role::Perftest {
+            peer: target,
+            payload,
+        },
+        _ => Role::Qperf {
+            peer: target,
+            payload,
+        },
+    }
+}
+
+fn topology_for(pick: u8, size: usize) -> Topology {
+    match pick % 5 {
+        0 => Topology::DirectPair,
+        1 => Topology::SingleSwitch { hosts: 2 + size },
+        2 => Topology::TwoSwitch {
+            upstream: 1 + size / 2,
+            downstream: 1 + size,
+        },
+        3 => Topology::Spec(TopologySpec::chain(3, &[1, size, 1])),
+        _ => Topology::Spec(TopologySpec::star(2, 1 + size)),
+    }
+}
+
+proptest! {
+    /// Build an arbitrary valid spec, emit it, parse it back: the parse
+    /// must reproduce the spec exactly and the emission must be a fixed
+    /// point of `parse ∘ to_text`.
+    #[test]
+    fn spec_round_trips_through_text(
+        name in prop::sample::select(vec![
+            "plain", "with space", "qu\"ote", "back\\slash", "hash # inside", "üñïçødé",
+        ]),
+        topo_pick in 0u8..5,
+        size in 0usize..4,
+        knobs in any::<u64>(),
+        window in (1u64..5_000_000_000, 0u64..1_000_000_000),
+    ) {
+        let topology = topology_for(topo_pick, size);
+        let hosts = topology.hosts();
+        let sink = hosts - 1;
+        let profile = if knobs & 1 == 0 {
+            DeviceProfile::Hardware
+        } else {
+            DeviceProfile::OmnetSimulator
+        };
+        let policy = match (knobs >> 1) % 3 {
+            0 => SchedPolicy::Fcfs,
+            1 => SchedPolicy::RoundRobin,
+            _ => SchedPolicy::FairShare,
+        };
+        let qos = match (knobs >> 3) % 3 {
+            0 => QosMode::SharedSl,
+            1 => QosMode::DedicatedSl,
+            _ => QosMode::DedicatedSlWithPretend,
+        };
+        let (duration_ps, warmup_ps) = window;
+        let mut spec = ScenarioSpec::new(name, topology)
+            .with_profile(profile)
+            .with_policy(policy)
+            .with_qos(qos)
+            .with_window(
+                SimDuration::from_ps(warmup_ps),
+                SimDuration::from_ps(duration_ps),
+            );
+        for node in 0..sink {
+            spec = spec.with_role(node, role_for(mix(knobs ^ node as u64), sink));
+        }
+        spec = spec.with_role(sink, Role::Sink);
+        prop_assert!(spec.validate().is_ok(), "generator made an invalid spec");
+
+        let text = spec.to_text();
+        let parsed = ScenarioSpec::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&parsed, &spec, "round-trip changed the spec");
+        prop_assert_eq!(parsed.to_text(), text, "emission is not a fixed point");
+    }
+
+    /// Appending a junk key to a valid emission is rejected, and the
+    /// error names exactly the appended line.
+    #[test]
+    fn junk_suffix_is_rejected_with_its_line_number(
+        topo_pick in 0u8..5,
+        knobs in any::<u64>(),
+    ) {
+        let topology = topology_for(topo_pick, 1);
+        let sink = topology.hosts() - 1;
+        let mut spec = ScenarioSpec::new("suffix", topology);
+        for node in 0..sink {
+            spec = spec.with_role(node, role_for(mix(knobs ^ node as u64), sink));
+        }
+        spec = spec.with_role(sink, Role::Sink);
+
+        let mut text = spec.to_text();
+        let junk_line = text.lines().count() + 1;
+        text.push_str("definitely_not_a_key = 1\n");
+        let err = ScenarioSpec::parse(&text).expect_err("junk key accepted");
+        prop_assert_eq!(err.line, junk_line, "error blamed the wrong line: {}", err);
+    }
+}
+
+/// Hand-written malformed inputs: each is rejected, and the error
+/// carries the exact line of the offense.
+#[test]
+fn malformed_inputs_are_rejected_with_line_numbers() {
+    let err_at = |text: &str| ScenarioSpec::parse(text).expect_err(text);
+
+    let unknown_top = err_at("name = \"x\"\nwat = 1\n");
+    assert_eq!(unknown_top.line, 2, "{unknown_top}");
+
+    let bad_int = err_at("[topology]\nkind = \"single_switch\"\nhosts = \"two\"\n");
+    assert_eq!(bad_int.line, 3, "{bad_int}");
+
+    let unknown_kind =
+        err_at("[topology]\nkind = \"direct_pair\"\n\n[[role]]\nnode = 0\nkind = \"dancer\"\n");
+    assert_eq!(unknown_kind.line, 6, "{unknown_kind}");
+
+    let key_for_wrong_kind = err_at(
+        "[topology]\nkind = \"direct_pair\"\n\n[[role]]\nnode = 0\nkind = \"sink\"\ntarget = 1\n",
+    );
+    assert_eq!(key_for_wrong_kind.line, 7, "{key_for_wrong_kind}");
+
+    let no_equals = err_at("name\n");
+    assert_eq!(no_equals.line, 1, "{no_equals}");
+
+    let unknown_section = err_at("name = \"x\"\n\n[wiring]\nkind = \"direct_pair\"\n");
+    assert_eq!(unknown_section.line, 3, "{unknown_section}");
+
+    let bad_qos = err_at("qos = \"polite\"\n");
+    assert_eq!(bad_qos.line, 1, "{bad_qos}");
+
+    // Errors render as `line N: message` so the CLI can prefix the file.
+    assert!(
+        unknown_top.to_string().starts_with("line 2: "),
+        "{unknown_top}"
+    );
+}

@@ -11,6 +11,59 @@ use rperf_sim::SimRng;
 use rperf_subnet::{plan, TopologySpec};
 use rperf_switch::{CreditLedger, Switch};
 
+/// A topology selector covering every fabric shape the suite builds,
+/// unifying the dedicated constructors and the planned multi-switch path
+/// behind one entry point ([`FabricBuilder::build`]).
+///
+/// The dedicated variants keep their historical RNG fork constants
+/// (`single_switch` forks at 999, `two_switch` at 998/997, planned specs
+/// at 900 + index), so a scenario expressed through [`Topology`] is
+/// bit-identical to one built through the matching constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Two hosts cabled back-to-back (no switch).
+    DirectPair,
+    /// `hosts` hosts behind a single ToR switch.
+    SingleSwitch {
+        /// Number of hosts on the switch.
+        hosts: usize,
+    },
+    /// Two switches in series (the paper's multi-hop setup).
+    TwoSwitch {
+        /// Hosts on switch 0.
+        upstream: usize,
+        /// Hosts on switch 1.
+        downstream: usize,
+    },
+    /// An arbitrary planned topology (chains, stars, custom graphs).
+    Spec(TopologySpec),
+}
+
+impl Topology {
+    /// Number of hosts the topology wires up.
+    pub fn hosts(&self) -> usize {
+        match self {
+            Topology::DirectPair => 2,
+            Topology::SingleSwitch { hosts } => *hosts,
+            Topology::TwoSwitch {
+                upstream,
+                downstream,
+            } => upstream + downstream,
+            Topology::Spec(spec) => spec.hosts(),
+        }
+    }
+
+    /// Number of switches in the topology.
+    pub fn switches(&self) -> usize {
+        match self {
+            Topology::DirectPair => 0,
+            Topology::SingleSwitch { .. } => 1,
+            Topology::TwoSwitch { .. } => 2,
+            Topology::Spec(spec) => spec.switches(),
+        }
+    }
+}
+
 /// What sits on the other end of a cable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
@@ -189,6 +242,20 @@ impl FabricBuilder {
     /// One switch-config allocation shared by every switch in the fabric.
     fn switch_cfg(&self) -> Arc<rperf_model::config::SwitchConfig> {
         Arc::new(self.cfg.switch.clone())
+    }
+
+    /// Builds the fabric for any [`Topology`], dispatching to the
+    /// matching constructor (and therefore to its RNG fork constants).
+    pub fn build(self, topo: &Topology) -> Fabric {
+        match topo {
+            Topology::DirectPair => self.direct_pair(),
+            Topology::SingleSwitch { hosts } => self.single_switch(*hosts),
+            Topology::TwoSwitch {
+                upstream,
+                downstream,
+            } => self.two_switch(*upstream, *downstream),
+            Topology::Spec(spec) => self.from_spec(spec),
+        }
     }
 
     /// Builds the back-to-back two-host fabric.
@@ -523,6 +590,38 @@ mod spec_tests {
         let star = Fabric::from_spec(cfg, &TopologySpec::star(3, 2), 1);
         assert_eq!(star.nodes(), 6);
         assert_eq!(star.switches_len(), 4);
+    }
+
+    #[test]
+    fn build_matches_the_dedicated_constructors() {
+        let cfg = ClusterConfig::hardware;
+        let t = rperf_sim::SimTime::from_us(5);
+        let same = |a: &Fabric, b: &Fabric| {
+            assert_eq!(a.nodes(), b.nodes());
+            assert_eq!(a.switches_len(), b.switches_len());
+            for i in 0..a.nodes() {
+                assert_eq!(a.clock(i).read(t), b.clock(i).read(t));
+            }
+        };
+        same(
+            &FabricBuilder::new(cfg(), 7).build(&Topology::DirectPair),
+            &Fabric::direct_pair(cfg(), 7),
+        );
+        same(
+            &FabricBuilder::new(cfg(), 7).build(&Topology::SingleSwitch { hosts: 5 }),
+            &Fabric::single_switch(cfg(), 5, 7),
+        );
+        same(
+            &FabricBuilder::new(cfg(), 7).build(&Topology::TwoSwitch {
+                upstream: 3,
+                downstream: 4,
+            }),
+            &Fabric::two_switch(cfg(), 3, 4, 7),
+        );
+        same(
+            &FabricBuilder::new(cfg(), 7).build(&Topology::Spec(TopologySpec::chain(2, &[1, 1]))),
+            &Fabric::from_spec(cfg(), &TopologySpec::chain(2, &[1, 1]), 7),
+        );
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub fn num(x: f64) -> String {
     }
 }
 
+/// Formats a `u64` as a JSON integer token.
+///
+/// Counts (iterations, node indices, picosecond instants) serialize as
+/// integers — unlike [`num`], which keeps a float shape — so consumers can
+/// tell exact quantities from measured ones.
+pub fn uint(x: u64) -> String {
+    format!("{x}")
+}
+
 /// Escapes and quotes a string as a JSON token.
 pub fn string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -88,6 +97,12 @@ mod tests {
         assert_eq!(num(-0.25), "-0.25");
         assert_eq!(num(f64::NAN), "null");
         assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn uints_are_plain_integers() {
+        assert_eq!(uint(0), "0");
+        assert_eq!(uint(5_000_000_000), "5000000000");
     }
 
     #[test]

@@ -20,8 +20,10 @@
 
 mod bsg;
 mod lsg;
+mod role;
 mod sink;
 
 pub use bsg::{Bsg, BsgConfig, PretendLsg};
 pub use lsg::{ClosedLoopPing, LsgConfig};
+pub use role::{build_workload, WorkloadRole};
 pub use sink::Sink;

@@ -1,0 +1,129 @@
+//! Declarative workload construction: one factory mapping a role
+//! description to a boxed [`App`].
+//!
+//! The scenario executor in the `rperf` crate attaches every application
+//! through role tables rather than hand-written `add_app` sequences; this
+//! module is the workload half of that factory (the measurement tools —
+//! RPerf, perftest, qperf — are built by the `rperf` crate itself, which
+//! sits above this one in the dependency order).
+
+use rperf_fabric::App;
+use rperf_model::ServiceLevel;
+use rperf_sim::SimDuration;
+
+use crate::{Bsg, BsgConfig, ClosedLoopPing, LsgConfig, PretendLsg, Sink};
+
+/// A plain-data description of one workload application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadRole {
+    /// A bandwidth-sensitive generator ([`Bsg`]).
+    Bsg {
+        /// Destination node index.
+        target: usize,
+        /// Payload bytes per message.
+        payload: u64,
+        /// Open-loop posting window.
+        window: usize,
+        /// Messages per doorbell.
+        batch: usize,
+        /// Service level of the flow.
+        sl: ServiceLevel,
+    },
+    /// A closed-loop latency prober ([`ClosedLoopPing`]).
+    Lsg {
+        /// Destination node index.
+        target: usize,
+        /// Payload bytes per probe.
+        payload: u64,
+        /// Service level of the flow.
+        sl: ServiceLevel,
+    },
+    /// The QoS-gaming adversary ([`PretendLsg`]).
+    PretendLsg {
+        /// Destination node index.
+        target: usize,
+        /// Bytes per segmented message (the paper uses 256 B).
+        chunk: u64,
+        /// The latency-class service level it masquerades on.
+        sl: ServiceLevel,
+    },
+    /// The destination server ([`Sink`]).
+    Sink,
+}
+
+/// Builds the application for a workload role.
+///
+/// `warmup` is the scenario-wide warm-up horizon: samples and bandwidth
+/// before it are discarded by every generator.
+pub fn build_workload(role: &WorkloadRole, warmup: SimDuration) -> Box<dyn App> {
+    match role {
+        WorkloadRole::Bsg {
+            target,
+            payload,
+            window,
+            batch,
+            sl,
+        } => Box::new(Bsg::new(
+            BsgConfig::new(*target, *payload)
+                .with_window(*window)
+                .with_batch(*batch)
+                .with_sl(*sl)
+                .with_warmup(warmup),
+        )),
+        WorkloadRole::Lsg {
+            target,
+            payload,
+            sl,
+        } => Box::new(ClosedLoopPing::new(
+            LsgConfig::new(*target)
+                .with_payload(*payload)
+                .with_sl(*sl)
+                .with_warmup(warmup),
+        )),
+        WorkloadRole::PretendLsg { target, chunk, sl } => {
+            Box::new(PretendLsg::new(*target, *chunk, *sl, warmup))
+        }
+        WorkloadRole::Sink => Box::new(Sink::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_each_role() {
+        let warmup = SimDuration::from_us(50);
+        let bsg = build_workload(
+            &WorkloadRole::Bsg {
+                target: 1,
+                payload: 4096,
+                window: 128,
+                batch: 1,
+                sl: ServiceLevel::new(0),
+            },
+            warmup,
+        );
+        assert!(bsg.as_any().downcast_ref::<Bsg>().is_some());
+        let lsg = build_workload(
+            &WorkloadRole::Lsg {
+                target: 1,
+                payload: 64,
+                sl: ServiceLevel::new(0),
+            },
+            warmup,
+        );
+        assert!(lsg.as_any().downcast_ref::<ClosedLoopPing>().is_some());
+        let hog = build_workload(
+            &WorkloadRole::PretendLsg {
+                target: 1,
+                chunk: 256,
+                sl: ServiceLevel::new(1),
+            },
+            warmup,
+        );
+        assert!(hog.as_any().downcast_ref::<PretendLsg>().is_some());
+        let sink = build_workload(&WorkloadRole::Sink, warmup);
+        assert!(sink.as_any().downcast_ref::<Sink>().is_some());
+    }
+}
