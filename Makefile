@@ -3,15 +3,26 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint build test bench bench-smoke report quick-report scenario-smoke
+.PHONY: ci fmt lint lint-invariants sanitize-smoke build test bench bench-smoke report quick-report scenario-smoke
 
-ci: fmt lint build test
+ci: fmt lint lint-invariants build test
 
 fmt:
 	$(CARGO) fmt --all --check
 
 lint:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Workspace invariant linter (rperf-lint, DESIGN.md §5): determinism and
+# hot-loop rules D1-D8, configured by the checked-in lint.toml.
+lint-invariants:
+	$(CARGO) run --release -q -p rperf-lint
+
+# One figure sweep with the sim-sanitizer feature's runtime invariant
+# checks (packet conservation, credit bounds, event-time monotonicity).
+# Dev profile on purpose: the checks are debug_assert!-based.
+sanitize-smoke:
+	$(CARGO) run -q -p rperf-bench --bin figure --features sim-sanitizer -- --fig 4 --quick > /dev/null
 
 build:
 	$(CARGO) build --release --workspace

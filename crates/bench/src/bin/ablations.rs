@@ -6,6 +6,8 @@
 //!
 //! Usage: `cargo run --release -p rperf-bench --bin ablations [--quick]`
 
+#![forbid(unsafe_code)]
+
 use rperf::scenario::{converged, one_to_one_rperf, QosMode, RunSpec};
 use rperf_bench::Effort;
 use rperf_model::ClusterConfig;

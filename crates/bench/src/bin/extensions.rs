@@ -9,6 +9,8 @@
 //!
 //! Usage: `cargo run --release -p rperf-bench --bin extensions [--quick]`
 
+#![forbid(unsafe_code)]
+
 use rperf::scenario::{chain_latency, converged, multihop, QosMode, RunSpec};
 use rperf_bench::Effort;
 use rperf_model::config::SchedPolicy;

@@ -7,6 +7,8 @@
 //! Makefile keeps `make figN` aliases. `--json` emits the deterministic
 //! JSON form used by the golden-equivalence tests instead of Markdown.
 
+#![forbid(unsafe_code)]
+
 use rperf_bench::{figures, Effort};
 
 fn main() {

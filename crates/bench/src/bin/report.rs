@@ -4,6 +4,8 @@
 //! Usage: `cargo run --release -p rperf-bench --bin report
 //!         [--quick] [--jobs N] [--out PATH]`
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;

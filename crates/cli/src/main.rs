@@ -1,5 +1,7 @@
 //! `rperf-cli`: the command-line front end.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -190,7 +190,7 @@ impl App for RPerf {
         match cqe.opcode {
             CqeOpcode::Send => {
                 let ts = self.timestamp(ctx);
-                if cqe.wr_id.0 % 2 == LOOP {
+                if cqe.wr_id.raw() % 2 == LOOP {
                     self.t_l = Some(ts);
                 } else {
                     self.t_w = Some(ts);

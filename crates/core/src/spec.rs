@@ -28,8 +28,6 @@
 //! target = 4
 //! ```
 
-use std::fmt;
-
 use rperf_fabric::Topology;
 use rperf_model::config::SchedPolicy;
 use rperf_model::{ClusterConfig, ServiceLevel};
@@ -374,205 +372,14 @@ impl ScenarioSpec {
 // ---------------------------------------------------------------------------
 
 /// A parse failure, locating the offending line (1-based).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpecError {
-    /// 1-based line number of the error.
-    pub line: usize,
-    /// What went wrong.
-    pub msg: String,
-}
+///
+/// This is [`rperf_model::textcfg::ParseError`]: the scenario format is
+/// one consumer of the shared TOML-subset reader.
+pub use rperf_model::textcfg::ParseError as SpecError;
 
-impl fmt::Display for SpecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
-    }
-}
-
-impl std::error::Error for SpecError {}
-
-fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, SpecError> {
-    Err(SpecError {
-        line,
-        msg: msg.into(),
-    })
-}
-
-/// A parsed right-hand side.
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Int(u64),
-    Float(f64),
-    Str(String),
-    /// `[1, 2, 3]`
-    List(Vec<u64>),
-    /// `[[0, 1], [1, 2]]`
-    Pairs(Vec<(usize, usize)>),
-}
-
-impl Value {
-    fn type_name(&self) -> &'static str {
-        match self {
-            Value::Int(_) => "integer",
-            Value::Float(_) => "float",
-            Value::Str(_) => "string",
-            Value::List(_) => "integer list",
-            Value::Pairs(_) => "pair list",
-        }
-    }
-}
-
-fn parse_int(tok: &str) -> Option<u64> {
-    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        tok.parse().ok()
-    }
-}
-
-fn parse_value(line: usize, raw: &str) -> Result<Value, SpecError> {
-    let raw = raw.trim();
-    if raw.is_empty() {
-        return err(line, "missing value after `=`");
-    }
-    if let Some(rest) = raw.strip_prefix('"') {
-        let Some(body) = rest.strip_suffix('"') else {
-            return err(line, "unterminated string");
-        };
-        let mut out = String::with_capacity(body.len());
-        let mut chars = body.chars();
-        while let Some(c) = chars.next() {
-            if c == '\\' {
-                match chars.next() {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    other => return err(line, format!("bad escape `\\{:?}`", other)),
-                }
-            } else if c == '"' {
-                return err(line, "unescaped quote inside string");
-            } else {
-                out.push(c);
-            }
-        }
-        return Ok(Value::Str(out));
-    }
-    if let Some(body) = raw.strip_prefix('[') {
-        let Some(body) = body.strip_suffix(']') else {
-            return err(line, "unterminated list (arrays must fit on one line)");
-        };
-        let body = body.trim();
-        if body.is_empty() {
-            return Ok(Value::List(Vec::new()));
-        }
-        if body.starts_with('[') {
-            // A list of pairs: split on "]," boundaries.
-            let mut pairs = Vec::new();
-            for item in body.split("],") {
-                let item = item.trim().trim_start_matches('[').trim_end_matches(']');
-                let nums: Vec<&str> = item.split(',').map(str::trim).collect();
-                if nums.len() != 2 {
-                    return err(line, format!("`[{item}]` is not a pair"));
-                }
-                let a = parse_int(nums[0]);
-                let b = parse_int(nums[1]);
-                match (a, b) {
-                    (Some(a), Some(b)) => pairs.push((a as usize, b as usize)),
-                    _ => return err(line, format!("`[{item}]` is not an integer pair")),
-                }
-            }
-            return Ok(Value::Pairs(pairs));
-        }
-        let mut items = Vec::new();
-        for tok in body.split(',') {
-            let tok = tok.trim();
-            match parse_int(tok) {
-                Some(v) => items.push(v),
-                None => return err(line, format!("`{tok}` is not an integer")),
-            }
-        }
-        return Ok(Value::List(items));
-    }
-    if let Some(v) = parse_int(raw) {
-        return Ok(Value::Int(v));
-    }
-    if let Ok(v) = raw.parse::<f64>() {
-        return Ok(Value::Float(v));
-    }
-    err(
-        line,
-        format!("`{raw}` is not a number, string, or list (strings need quotes)"),
-    )
-}
-
-fn expect_str(line: usize, key: &str, v: &Value) -> Result<String, SpecError> {
-    match v {
-        Value::Str(s) => Ok(s.clone()),
-        other => err(
-            line,
-            format!("`{key}` expects a quoted string, got {}", other.type_name()),
-        ),
-    }
-}
-
-fn expect_int(line: usize, key: &str, v: &Value) -> Result<u64, SpecError> {
-    match v {
-        Value::Int(n) => Ok(*n),
-        other => err(
-            line,
-            format!("`{key}` expects an integer, got {}", other.type_name()),
-        ),
-    }
-}
-
-fn expect_list(line: usize, key: &str, v: &Value) -> Result<Vec<u64>, SpecError> {
-    match v {
-        Value::List(items) => Ok(items.clone()),
-        other => err(
-            line,
-            format!("`{key}` expects an integer list, got {}", other.type_name()),
-        ),
-    }
-}
-
-fn expect_number(line: usize, key: &str, v: &Value) -> Result<f64, SpecError> {
-    match v {
-        Value::Int(n) => Ok(*n as f64),
-        Value::Float(f) => Ok(*f),
-        other => err(
-            line,
-            format!("`{key}` expects a number, got {}", other.type_name()),
-        ),
-    }
-}
-
-/// One `key = value` occurrence, with its line for error reporting.
-type Entry = (usize, String, Value);
-
-#[derive(Debug, Default)]
-struct Section {
-    header_line: usize,
-    entries: Vec<Entry>,
-}
-
-impl Section {
-    fn get(&self, key: &str) -> Option<(usize, &Value)> {
-        self.entries
-            .iter()
-            .find(|(_, k, _)| k == key)
-            .map(|(l, _, v)| (*l, v))
-    }
-
-    fn check_keys(&self, kind: &str, allowed: &[&str]) -> Result<(), SpecError> {
-        for (line, key, _) in &self.entries {
-            if !allowed.contains(&key.as_str()) {
-                return err(
-                    *line,
-                    format!("`{key}` is not a valid key for {kind} (expected one of {allowed:?})"),
-                );
-            }
-        }
-        Ok(())
-    }
-}
+use rperf_model::textcfg::{
+    err, expect_int, expect_list, expect_number, expect_str, Document, Section, Value,
+};
 
 fn duration_from(
     section: &Section,
@@ -813,25 +620,6 @@ fn parse_role(section: &Section) -> Result<RoleSpec, SpecError> {
     Ok(RoleSpec { node, role })
 }
 
-/// Strips a trailing `#` comment, respecting quoted strings.
-fn strip_comment(line: &str) -> &str {
-    let mut in_string = false;
-    let mut escaped = false;
-    for (i, c) in line.char_indices() {
-        if escaped {
-            escaped = false;
-            continue;
-        }
-        match c {
-            '\\' if in_string => escaped = true,
-            '"' => in_string = !in_string,
-            '#' if !in_string => return &line[..i],
-            _ => {}
-        }
-    }
-    line
-}
-
 impl ScenarioSpec {
     /// Parses the text form.
     ///
@@ -841,59 +629,27 @@ impl ScenarioSpec {
     /// problem. Parsing is purely syntactic; call [`ScenarioSpec::validate`]
     /// afterwards for semantic checks (node ranges, duplicate nodes).
     pub fn parse(text: &str) -> Result<ScenarioSpec, SpecError> {
-        let mut top = Section::default();
+        let doc = Document::parse(text)?;
+        let top = doc.top;
         let mut topology: Option<Section> = None;
         let mut roles: Vec<Section> = Vec::new();
-        // Which section `key = value` lines currently land in.
-        enum At {
-            Top,
-            Topology,
-            Role,
-        }
-        let mut at = At::Top;
-
-        for (idx, raw_line) in text.lines().enumerate() {
-            let lineno = idx + 1;
-            let line = strip_comment(raw_line).trim();
-            if line.is_empty() {
-                continue;
-            }
-            if line == "[topology]" {
+        for sec in doc.sections {
+            if sec.raw_header == "[topology]" {
                 if topology.is_some() {
-                    return err(lineno, "duplicate [topology] section");
+                    return err(sec.header_line, "duplicate [topology] section");
                 }
-                topology = Some(Section {
-                    header_line: lineno,
-                    entries: Vec::new(),
-                });
-                at = At::Topology;
-                continue;
-            }
-            if line == "[[role]]" {
-                roles.push(Section {
-                    header_line: lineno,
-                    entries: Vec::new(),
-                });
-                at = At::Role;
-                continue;
-            }
-            if line.starts_with('[') {
+                topology = Some(sec);
+            } else if sec.raw_header == "[[role]]" {
+                roles.push(sec);
+            } else {
                 return err(
-                    lineno,
-                    format!("unknown section `{line}` (expected [topology] or [[role]])"),
+                    sec.header_line,
+                    format!(
+                        "unknown section `{}` (expected [topology] or [[role]])",
+                        sec.raw_header
+                    ),
                 );
             }
-            let Some((key, value)) = line.split_once('=') else {
-                return err(lineno, format!("expected `key = value`, got `{line}`"));
-            };
-            let key = key.trim().to_string();
-            let value = parse_value(lineno, value)?;
-            let section = match at {
-                At::Top => &mut top,
-                At::Topology => topology.as_mut().expect("set when entering section"),
-                At::Role => roles.last_mut().expect("set when entering section"),
-            };
-            section.entries.push((lineno, key, value));
         }
 
         top.check_keys(

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// The benchmark driver handed to each target function.
+#[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
 }
@@ -78,6 +79,7 @@ impl Default for Criterion {
 }
 
 /// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug)]
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,

@@ -105,6 +105,15 @@ pub struct Ctx<'a> {
     q: &'a mut EventQueue<FabricEvent>,
 }
 
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("now", &self.now)
+            .field("node", &self.node)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> Ctx<'a> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
@@ -262,7 +271,11 @@ fn apply_switch_actions(
                         packet,
                     },
                 ),
-                None => panic!("switch {switch} transmits on unconnected {egress}"),
+                None => {
+                    // A topology-construction bug: drop the packet and let
+                    // the slab leak check flag it instead of aborting a run.
+                    debug_assert!(false, "switch {switch} transmits on unconnected {egress}");
+                }
             },
             SwitchAction::ReturnCredit { ingress, vl, bytes } => {
                 match fabric.switch_peer[switch][ingress.index()] {
@@ -278,7 +291,12 @@ fn apply_switch_actions(
                             bytes,
                         },
                     ),
-                    None => panic!("switch {switch} returns credit on unconnected {ingress}"),
+                    None => {
+                        debug_assert!(
+                            false,
+                            "switch {switch} returns credit on unconnected {ingress}"
+                        );
+                    }
                 }
             }
         }
@@ -421,6 +439,15 @@ pub struct Sim {
     started: bool,
 }
 
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("queued_events", &self.q.len())
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Process-wide count of events handled by every [`Sim`] on any thread.
 ///
 /// Parallel sweeps (`rperf-runner`) run many `Sim`s concurrently; the
@@ -541,6 +568,11 @@ impl Sim {
         if live > 0 {
             PACKETS_LEAKED.fetch_add(live as u64, Ordering::Relaxed);
         }
+        #[cfg(feature = "sim-sanitizer")]
+        debug_assert_eq!(
+            live, 0,
+            "sim-sanitizer: {live} packet(s) still in the slab at quiescence"
+        );
     }
 
     /// Current simulated time.

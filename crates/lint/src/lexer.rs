@@ -1,0 +1,595 @@
+//! A small hand-written Rust lexer.
+//!
+//! The offline build cannot resolve registry crates, so there is no
+//! `syn`/`proc-macro2` to lean on; instead this module tokenizes Rust
+//! source just accurately enough for invariant linting: every token
+//! carries a 1-based line/column span, string/char/comment bodies are
+//! recognized (so rule patterns never fire inside them), raw strings,
+//! byte strings, nested block comments, lifetimes-vs-char-literals and
+//! tuple-index-vs-float (`x.0.1`) are disambiguated. Everything that is
+//! not a literal, identifier or comment is emitted as a single-character
+//! [`TokKind::Punct`] token — the rule engine matches on short token
+//! sequences, so multi-character operators are unnecessary.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw `r#idents`).
+    Ident,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// An integer literal, including its suffix (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal, including its suffix (`1.5`, `1e9`, `2f64`).
+    Float,
+    /// A string literal of any flavour (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A non-doc comment (`// x`, `/* x */`).
+    Comment,
+    /// A doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment,
+    /// Any other single character (`.`, `(`, `#`, `!`, …).
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based (character) column of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True when this is the single-character punct `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes `n` characters into `out`.
+    fn take(&mut self, n: usize, out: &mut String) {
+        for _ in 0..n {
+            if let Some(c) = self.bump() {
+                out.push(c);
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals simply run to end
+/// of input — the compiler, not the linter, reports malformed Rust.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks: Vec<Token> = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            let doc =
+                (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+            let kind = if doc {
+                TokKind::DocComment
+            } else {
+                TokKind::Comment
+            };
+            toks.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            loop {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.take(2, &mut text);
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.take(2, &mut text);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(_), _) => cur.take(1, &mut text),
+                    (None, _) => break,
+                }
+            }
+            let doc = (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+                || text.starts_with("/*!");
+            let kind = if doc {
+                TokKind::DocComment
+            } else {
+                TokKind::Comment
+            };
+            toks.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let mut text = String::new();
+            cur.take(1, &mut text);
+            lex_string_body(&mut cur, &mut text);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            let tok = lex_quote(&mut cur, line, col);
+            toks.push(tok);
+            continue;
+        }
+
+        // Numbers. `x.0.1` must lex the field indexes as plain ints, so a
+        // number immediately after a `.` token never consumes a dot.
+        if c.is_ascii_digit() {
+            let after_dot = matches!(toks.last(), Some(t) if t.is_punct('.'));
+            let tok = lex_number(&mut cur, line, col, after_dot);
+            toks.push(tok);
+            continue;
+        }
+
+        // Identifiers, raw identifiers, and prefixed literals (r"", b"",
+        // br#""#, b'x').
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            let raw_capable = matches!(text.as_str(), "r" | "br" | "cr");
+            let str_capable = matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr");
+            match cur.peek(0) {
+                // Raw identifier `r#name` (but `r#"` starts a raw string).
+                Some('#') if text == "r" && cur.peek(1).is_some_and(is_ident_start) => {
+                    cur.take(1, &mut text);
+                    while let Some(ch) = cur.peek(0) {
+                        if !is_ident_continue(ch) {
+                            break;
+                        }
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                // Raw string `r#"..."#` / `br##"..."##`.
+                Some('#') if raw_capable => {
+                    let mut hashes = 0usize;
+                    while cur.peek(0) == Some('#') {
+                        cur.take(1, &mut text);
+                        hashes += 1;
+                    }
+                    if cur.peek(0) == Some('"') {
+                        cur.take(1, &mut text);
+                        lex_raw_string_body(&mut cur, &mut text, hashes);
+                        toks.push(Token {
+                            kind: TokKind::Str,
+                            text,
+                            line,
+                            col,
+                        });
+                    } else {
+                        // `r#` followed by something else: emit what we have.
+                        toks.push(Token {
+                            kind: TokKind::Ident,
+                            text,
+                            line,
+                            col,
+                        });
+                    }
+                }
+                // Raw-ish string with zero hashes: `r"..."`, `b"..."`.
+                Some('"') if str_capable => {
+                    cur.take(1, &mut text);
+                    if text.contains('r') {
+                        lex_raw_string_body(&mut cur, &mut text, 0);
+                    } else {
+                        lex_string_body(&mut cur, &mut text);
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                // Byte char `b'x'`.
+                Some('\'') if text == "b" => {
+                    cur.take(1, &mut text);
+                    lex_char_body(&mut cur, &mut text);
+                    toks.push(Token {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                _ => toks.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+
+        // Everything else: one punct character.
+        let mut text = String::new();
+        cur.take(1, &mut text);
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text,
+            line,
+            col,
+        });
+    }
+
+    toks
+}
+
+/// Consumes a plain string body after the opening quote, including the
+/// closing quote, honouring backslash escapes.
+fn lex_string_body(cur: &mut Cursor, text: &mut String) {
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            cur.take(2, text);
+            continue;
+        }
+        cur.take(1, text);
+        if ch == '"' {
+            break;
+        }
+    }
+}
+
+/// Consumes a raw string body after the opening quote, including the
+/// closing `"###…` with `hashes` hash characters.
+fn lex_raw_string_body(cur: &mut Cursor, text: &mut String, hashes: usize) {
+    while let Some(ch) = cur.peek(0) {
+        if ch == '"' {
+            let closing = (1..=hashes).all(|k| cur.peek(k) == Some('#'));
+            cur.take(1 + if closing { hashes } else { 0 }, text);
+            if closing {
+                return;
+            }
+            continue;
+        }
+        cur.take(1, text);
+    }
+}
+
+/// Consumes a char-literal body after the opening quote, including the
+/// closing quote.
+fn lex_char_body(cur: &mut Cursor, text: &mut String) {
+    if cur.peek(0) == Some('\\') {
+        cur.take(2, text);
+        // Escapes like \x41 or \u{1F600}: run to the closing quote.
+        while let Some(ch) = cur.peek(0) {
+            cur.take(1, text);
+            if ch == '\'' {
+                return;
+            }
+        }
+        return;
+    }
+    cur.take(1, text);
+    if cur.peek(0) == Some('\'') {
+        cur.take(1, text);
+    }
+}
+
+/// Lexes at a `'`: either a char literal (`'x'`, `'\n'`, `'('`) or a
+/// lifetime (`'a`, `'static`, `'_`).
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    cur.take(1, &mut text); // the quote
+    match cur.peek(0) {
+        Some('\\') => {
+            lex_char_body(cur, &mut text);
+            Token {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(ch) if is_ident_start(ch) || ch.is_ascii_digit() => {
+            // Could be `'a'` (char) or `'a` (lifetime): scan the ident run
+            // and decide by whether a closing quote follows.
+            let mut body = String::new();
+            let mut k = 0usize;
+            while let Some(c2) = cur.peek(k) {
+                if !is_ident_continue(c2) {
+                    break;
+                }
+                body.push(c2);
+                k += 1;
+            }
+            if cur.peek(k) == Some('\'') && body.chars().count() == 1 {
+                cur.take(k + 1, &mut text);
+                Token {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                }
+            } else {
+                cur.take(k, &mut text);
+                Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                }
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal like '(' or ' '.
+            lex_char_body(cur, &mut text);
+            Token {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        None => Token {
+            kind: TokKind::Punct,
+            text,
+            line,
+            col,
+        },
+    }
+}
+
+/// Lexes a numeric literal. When `after_dot`, the number is a tuple
+/// index: consume digits only, never a fractional part.
+fn lex_number(cur: &mut Cursor, line: u32, col: u32, after_dot: bool) -> Token {
+    let mut text = String::new();
+    // Digits, `_`, radix prefixes and suffix letters all fall in the
+    // alphanumeric/underscore set.
+    while let Some(ch) = cur.peek(0) {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    let hex = text.starts_with("0x") || text.starts_with("0X");
+    if !after_dot && !hex && cur.peek(0) == Some('.') {
+        match cur.peek(1) {
+            // `1.5`: fractional part.
+            Some(d) if d.is_ascii_digit() => {
+                cur.take(1, &mut text);
+                while let Some(ch) = cur.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            // `1.` trailing-dot float, but not `1..` (range) and not
+            // `1.max(..)` (method call).
+            Some(d) if d != '.' && !is_ident_start(d) => cur.take(1, &mut text),
+            None => cur.take(1, &mut text),
+            _ => {}
+        }
+    }
+    let float = text.contains('.')
+        || (!hex && (text.contains('e') || text.contains('E')) && !text.ends_with("e"))
+        || (!hex && (text.ends_with("f32") || text.ends_with("f64")));
+    let kind = if float && !after_dot {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    };
+    Token {
+        kind,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let toks = kinds("let x = 42 + 0xFF_u64;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Int, "42".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Int, "0xFF_u64".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_vs_tuple_indexes() {
+        assert_eq!(
+            kinds("a.0 + 1.5"),
+            vec![
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Int, "0".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Float, "1.5".into()),
+            ]
+        );
+        // x.0.1 is two field accesses, not a float.
+        assert_eq!(
+            kinds("x.0.1"),
+            vec![
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Int, "0".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Int, "1".into()),
+            ]
+        );
+        assert_eq!(kinds("1e9")[0].0, TokKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("1..2")[1], (TokKind::Punct, ".".into()));
+        assert_eq!(kinds("3.max(4)")[0], (TokKind::Int, "3".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"f("no unwrap() here \" quote", 'x', b"bytes")"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || !t.contains("unwrap")));
+        assert_eq!(
+            toks[2],
+            (TokKind::Str, r#""no unwrap() here \" quote""#.into())
+        );
+        assert_eq!(toks[4].0, TokKind::Char);
+        assert_eq!(toks[6].0, TokKind::Str);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; let r#fn = 1;"###);
+        assert_eq!(toks[3], (TokKind::Str, r###"r#"quote " inside"#"###.into()));
+        assert_eq!(toks[6], (TokKind::Ident, "r#fn".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("<'a, 'static> 'x' '\\n' '_'"),
+            vec![
+                (TokKind::Punct, "<".into()),
+                (TokKind::Lifetime, "'a".into()),
+                (TokKind::Punct, ",".into()),
+                (TokKind::Lifetime, "'static".into()),
+                (TokKind::Punct, ">".into()),
+                (TokKind::Char, "'x'".into()),
+                (TokKind::Char, "'\\n'".into()),
+                (TokKind::Char, "'_'".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_doc_comments() {
+        let toks = kinds("/// doc\n// plain\n/** block doc */\n/* /* nested */ */ fn");
+        assert_eq!(toks[0].0, TokKind::DocComment);
+        assert_eq!(toks[1].0, TokKind::Comment);
+        assert_eq!(toks[2].0, TokKind::DocComment);
+        assert_eq!(toks[3], (TokKind::Comment, "/* /* nested */ */".into()));
+        assert_eq!(toks[4].0, TokKind::Ident);
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_columns() {
+        let toks = lex("ab\n  cd // x\n\"s\"");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 6));
+        assert_eq!((toks[3].line, toks[3].col), (3, 1));
+    }
+}

@@ -1,0 +1,255 @@
+//! `rperf-lint` — the workspace invariant linter.
+//!
+//! Every figure in this reproduction is pinned byte-for-byte by golden
+//! tests, and the sweep runner promises identical JSON for any `--jobs
+//! N`. Those guarantees rest on invariants nothing used to check
+//! *statically*: no unordered-map iteration, no wall-clock reads, no
+//! ambient RNG, quantities kept in integer newtypes, no panics in the
+//! hot loop, no `unsafe`, documented event-API ordering contracts, no
+//! environment-dependent results. This crate tokenizes every `.rs` file
+//! under `crates/*/src` and `src/` with a small hand-written lexer
+//! ([`lexer`]) — the offline build cannot resolve `syn` — and runs the
+//! rule catalog ([`rules`]) over the token streams, configured by the
+//! checked-in `lint.toml` ([`config`]).
+//!
+//! The binary (`cargo run -p rperf-lint`, or `make lint-invariants`)
+//! exits non-zero on any violation, printing `file:line:col`, the
+//! offending line, the rule id and a fix hint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use rules::{Diagnostic, SourceFile};
+
+/// The outcome of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Surviving (post-allowlist) diagnostics, sorted by file/position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were scanned.
+    pub files_checked: usize,
+    /// Human-readable notes for `[[allow]]` entries that matched nothing
+    /// — stale entries should be deleted, not accumulated.
+    pub unused_allows: Vec<String>,
+}
+
+/// One file the walker found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkspaceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Repo-relative path with forward slashes (diagnostic label).
+    pub rel: String,
+    /// Crate key: directory name under `crates/`, or `root`.
+    pub crate_key: String,
+    /// True for `src/lib.rs`, `src/main.rs`, `src/bin/*.rs`.
+    pub is_crate_root: bool,
+}
+
+/// Enumerates every linted `.rs` file under `root`: `crates/*/src/**`
+/// plus the top-level package's `src/**`. Integration tests, benches and
+/// fixtures live outside `src/` and are deliberately not scanned. The
+/// listing is sorted so diagnostics are stable across platforms.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<WorkspaceFile>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let key = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            collect_rs(&dir.join("src"), &mut out, &key)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut out, "root")?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    // Rebuild the repo-relative labels against `root`.
+    for f in &mut out {
+        if let Ok(rel) = f.abs.strip_prefix(root) {
+            f.rel = path_label(rel);
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn path_label(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs(src_dir: &Path, out: &mut Vec<WorkspaceFile>, key: &str) -> io::Result<()> {
+    if !src_dir.is_dir() {
+        return Ok(());
+    }
+    let mut stack = vec![src_dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+                let parent = p
+                    .parent()
+                    .and_then(|d| d.file_name())
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default();
+                let is_crate_root =
+                    (parent == "src" && (name == "lib.rs" || name == "main.rs")) || parent == "bin";
+                out.push(WorkspaceFile {
+                    rel: path_label(&p),
+                    abs: p,
+                    crate_key: key.to_string(),
+                    is_crate_root,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source text under a path label — the path-independent entry
+/// point the fixture tests use.
+pub fn lint_source(
+    path: &str,
+    crate_key: &str,
+    is_crate_root: bool,
+    src: &str,
+    cfg: &Config,
+) -> Vec<Diagnostic> {
+    let file = SourceFile::analyze(path, crate_key, is_crate_root, src);
+    rules::run_rules(&file, cfg)
+}
+
+/// Drops diagnostics matched by an `[[allow]]` entry, recording which
+/// entries were used in `used` (same order as `cfg.allows`).
+pub fn apply_allows(diags: Vec<Diagnostic>, cfg: &Config, used: &mut [bool]) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            for (k, a) in cfg.allows.iter().enumerate() {
+                let hit = a.rule == d.rule
+                    && d.path.ends_with(a.path.as_str())
+                    && a.contains
+                        .as_deref()
+                        .is_none_or(|c| d.line_text.contains(c));
+                if hit {
+                    if let Some(slot) = used.get_mut(k) {
+                        *slot = true;
+                    }
+                    return false;
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+/// Lints the whole workspace rooted at `root` with `cfg`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or file reads.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+    let files = workspace_files(root)?;
+    let mut used = vec![false; cfg.allows.len()];
+    let mut diagnostics = Vec::new();
+    let mut files_checked = 0usize;
+    for f in &files {
+        let src = fs::read_to_string(&f.abs)?;
+        let raw = lint_source(&f.rel, &f.crate_key, f.is_crate_root, &src, cfg);
+        diagnostics.extend(apply_allows(raw, cfg, &mut used));
+        files_checked += 1;
+    }
+    diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    let unused_allows = cfg
+        .allows
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(a, _)| {
+            format!(
+                "lint.toml:{}: [[allow]] for {} at `{}` matched nothing — delete it",
+                a.line, a.rule, a.path
+            )
+        })
+        .collect();
+    Ok(LintReport {
+        diagnostics,
+        files_checked,
+        unused_allows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use config::{AllowEntry, Config};
+
+    #[test]
+    fn allows_filter_and_track_usage() {
+        let cfg = Config {
+            rules: vec![crate::config::RuleCfg {
+                id: "D5".into(),
+                crates: vec!["fixture".into()],
+                files: Vec::new(),
+                hint: None,
+            }],
+            allows: vec![
+                AllowEntry {
+                    rule: "D5".into(),
+                    path: "x.rs".into(),
+                    contains: Some("boom".into()),
+                    justification: "test".into(),
+                    line: 1,
+                },
+                AllowEntry {
+                    rule: "D5".into(),
+                    path: "never.rs".into(),
+                    contains: None,
+                    justification: "test".into(),
+                    line: 2,
+                },
+            ],
+        };
+        let diags = lint_source(
+            "fixture/src/x.rs",
+            "fixture",
+            false,
+            "fn f(v: Option<u32>) {\n    v.expect(\"boom\");\n    v.expect(\"other\");\n}",
+            &cfg,
+        );
+        assert_eq!(diags.len(), 2);
+        let mut used = vec![false; cfg.allows.len()];
+        let kept = apply_allows(diags, &cfg, &mut used);
+        assert_eq!(kept.len(), 1, "only the pinned call site is silenced");
+        assert!(kept[0].line_text.contains("other"));
+        assert_eq!(used, vec![true, false]);
+    }
+}

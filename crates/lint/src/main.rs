@@ -1,0 +1,92 @@
+//! The `rperf-lint` binary: lints the workspace against `lint.toml`.
+//!
+//! ```text
+//! rperf-lint [--root DIR] [--config FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config/I-O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rperf_lint::{lint_workspace, Config};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a file"),
+            },
+            "--help" | "-h" => {
+                println!("usage: rperf-lint [--root DIR] [--config FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rperf-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Config::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rperf-lint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rperf-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        print!("{}", d.render());
+    }
+    for w in &report.unused_allows {
+        eprintln!("rperf-lint: warning: {w}");
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "lint-invariants: clean ({} files, {} rules, {} allow entries)",
+            report.files_checked,
+            cfg.rules.len(),
+            cfg.allows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        // Diagnostics are sorted by path, so dedup yields distinct files.
+        let mut files: Vec<&str> = report.diagnostics.iter().map(|d| d.path.as_str()).collect();
+        files.dedup();
+        println!(
+            "lint-invariants: {} violation(s) in {} of {} files",
+            report.diagnostics.len(),
+            files.len(),
+            report.files_checked
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("rperf-lint: {msg}\nusage: rperf-lint [--root DIR] [--config FILE]");
+    ExitCode::from(2)
+}

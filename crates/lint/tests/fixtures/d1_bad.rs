@@ -1,0 +1,12 @@
+//! D1 bad: unordered hash containers in a deterministic crate.
+
+use std::collections::HashMap;
+
+/// Tallies flows — but `HashMap` iteration order varies per process.
+pub fn tally(flows: &[u32]) -> HashMap<u32, u64> {
+    let mut seen: HashMap<u32, u64> = HashMap::new();
+    for f in flows {
+        *seen.entry(*f).or_default() += 1;
+    }
+    seen
+}

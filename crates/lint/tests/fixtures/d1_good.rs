@@ -1,0 +1,12 @@
+//! D1 good: ordered containers keep iteration deterministic.
+
+use std::collections::BTreeMap;
+
+/// Tallies flows; `BTreeMap` iterates in key order on every platform.
+pub fn tally(flows: &[u32]) -> BTreeMap<u32, u64> {
+    let mut seen: BTreeMap<u32, u64> = BTreeMap::new();
+    for f in flows {
+        *seen.entry(*f).or_default() += 1;
+    }
+    seen
+}

@@ -1,0 +1,9 @@
+//! D2 bad: wall-clock reads leak host timing into results.
+
+use std::time::Instant;
+
+/// Measures elapsed host time — different on every run.
+pub fn measure() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//! D2 good: time comes from the simulation clock, not the host.
+
+/// Elapsed simulated picoseconds between two explicit instants.
+pub fn elapsed_ps(start_ps: u64, end_ps: u64) -> u64 {
+    end_ps.saturating_sub(start_ps)
+}

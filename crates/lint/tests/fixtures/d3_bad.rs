@@ -1,0 +1,8 @@
+//! D3 bad: ambient RNG ignores the experiment seed.
+
+/// Draws jitter from the thread-local generator — unseeded, unstable.
+pub fn jitter() -> u64 {
+    let a: u64 = rand::random();
+    let b: u64 = thread_rng().gen();
+    a ^ b
+}

@@ -1,0 +1,8 @@
+//! D3 good: randomness forks off the seeded simulation stream.
+
+use rperf_sim::SimRng;
+
+/// Draws jitter from a named fork of the experiment's seeded RNG.
+pub fn jitter(rng: &mut SimRng) -> u64 {
+    rng.fork("jitter").next_u64()
+}

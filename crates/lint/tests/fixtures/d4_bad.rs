@@ -1,0 +1,14 @@
+//! D4 bad: float math and raw `.0` arithmetic on quantity newtypes.
+
+/// Nanoseconds as a raw-field newtype.
+pub struct Ns(pub u64);
+
+/// Averages two durations by poking at the field directly.
+pub fn midpoint(a: Ns, b: Ns) -> Ns {
+    Ns((a.0 + b.0) / 2)
+}
+
+/// Converts to floating seconds — rounding differs across platforms.
+pub fn to_seconds(t: Ns) -> f64 {
+    (t.0 as f64) / 1e9
+}

@@ -1,0 +1,9 @@
+//! D4 good: quantities stay in integer newtypes with named operations.
+
+use rperf_sim::{SimDuration, SimTime};
+
+/// Averages two instants without leaving integer picoseconds.
+pub fn midpoint(a: SimTime, b: SimTime) -> SimTime {
+    let half: SimDuration = (b - a) / 2;
+    a + half
+}

@@ -1,0 +1,10 @@
+//! D5 bad: panics in the hot loop abort the whole sweep.
+
+/// Pops the queue head, panicking on empty or zero entries.
+pub fn drain_head(q: &mut Vec<u32>) -> u32 {
+    let head = q.pop().unwrap();
+    if head == 0 {
+        panic!("zero entry in queue");
+    }
+    head
+}

@@ -1,0 +1,11 @@
+//! D5 good: guard invariants with `let .. else` + `debug_assert!`.
+
+/// Pops the queue head; an empty queue is a scheduler bug, reported in
+/// debug builds and skipped in release.
+pub fn drain_head(q: &mut Vec<u32>) -> u32 {
+    let Some(head) = q.pop() else {
+        debug_assert!(false, "drain_head called on an empty queue");
+        return 0;
+    };
+    head
+}

@@ -1,0 +1,7 @@
+//! D6 bad: an `unsafe` block, and the crate root is missing
+//! `#![forbid(unsafe_code)]`.
+
+/// Reads the first element without a bounds check.
+pub fn peek(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }
+}

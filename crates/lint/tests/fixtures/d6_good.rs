@@ -1,0 +1,8 @@
+//! D6 good: the crate root forbids unsafe and the read is checked.
+
+#![forbid(unsafe_code)]
+
+/// Reads the first element, defaulting on empty input.
+pub fn peek(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,5 @@
+//! D7 bad: a public event-API function with no ordering contract.
+
+pub fn pop_event() -> Option<u32> {
+    None
+}

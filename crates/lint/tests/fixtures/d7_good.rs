@@ -1,0 +1,7 @@
+//! D7 good: the ordering contract is part of the documented API.
+
+/// Removes and returns the earliest event. Events with equal timestamps
+/// pop in schedule (FIFO) order, keyed by sequence number.
+pub fn pop_event() -> Option<u32> {
+    None
+}

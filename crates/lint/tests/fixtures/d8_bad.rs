@@ -1,0 +1,10 @@
+//! D8 bad: results depend on the caller's shell environment.
+
+/// Worker count from an environment variable — invisible to the
+/// experiment record.
+pub fn jobs() -> usize {
+    match std::env::var("RPERF_JOBS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,7 @@
+//! D8 good: configuration is threaded through explicit arguments.
+
+/// Worker count from the parsed CLI configuration, recorded with the
+/// run's provenance.
+pub fn jobs(cli_jobs: Option<usize>) -> usize {
+    cli_jobs.unwrap_or(1)
+}

@@ -83,12 +83,25 @@ impl PacketSlab {
         }
     }
 
+    /// Packet conservation: every slot is either live or on the free list.
+    #[cfg(feature = "sim-sanitizer")]
+    fn check_conservation(&self) {
+        debug_assert_eq!(
+            self.live + self.free.len(),
+            self.slots.len(),
+            "sim-sanitizer: packet conservation violated (live {} + free {} != slots {})",
+            self.live,
+            self.free.len(),
+            self.slots.len()
+        );
+    }
+
     /// Moves `packet` into the slab, returning its handle.
     pub fn alloc(&mut self, packet: Packet) -> PacketRef {
         self.live += 1;
         self.high_water = self.high_water.max(self.live);
         self.allocated += 1;
-        match self.free.pop() {
+        let handle = match self.free.pop() {
             Some(index) => {
                 let slot = &mut self.slots[index as usize];
                 debug_assert!(slot.packet.is_none());
@@ -109,7 +122,10 @@ impl PacketSlab {
                     generation: 0,
                 }
             }
-        }
+        };
+        #[cfg(feature = "sim-sanitizer")]
+        self.check_conservation();
+        handle
     }
 
     /// The packet behind `handle`.
@@ -146,6 +162,8 @@ impl PacketSlab {
         slot.generation = slot.generation.wrapping_add(1);
         self.free.push(handle.index);
         self.live -= 1;
+        #[cfg(feature = "sim-sanitizer")]
+        self.check_conservation();
         packet
     }
 

@@ -13,6 +13,8 @@
 //!   uses: the `hardware` testbed profile and the `omnet` simulator profile.
 //! * [`analytic`] — closed-form models from the paper, most importantly
 //!   Eq. 2 (`W_t = N · BufferSize / LinkBandwidth`).
+//! * [`textcfg`] — the dependency-free TOML-subset reader shared by the
+//!   scenario-spec text format and `rperf-lint`'s `lint.toml`.
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@ pub mod analytic;
 pub mod arena;
 pub mod config;
 pub mod ids;
+pub mod textcfg;
 pub mod units;
 pub mod wire;
 

@@ -1,0 +1,480 @@
+//! A dependency-free TOML-subset reader shared by every text config in
+//! the suite.
+//!
+//! The grammar is the one PR 4 introduced for scenario specs — `key =
+//! value` lines, `[section]` and `[[array-section]]` headers, `#`
+//! comments that respect quoted strings, single-line arrays — factored
+//! out of `rperf-core` so other tools (notably `rperf-lint`'s
+//! `lint.toml`) parse their configs with the same code and the same
+//! line-numbered errors.
+//!
+//! [`Document::parse`] is purely structural: it records every section in
+//! order with its header line and raw header text, and leaves section
+//! names, duplicate checks and key validation to the consumer, so each
+//! consumer keeps full control over its own error messages.
+
+use std::fmt;
+
+/// A parse failure, locating the offending line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the error.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Shorthand for building an `Err(ParseError)`.
+pub fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// A parsed right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `42` or `0x2A`.
+    Int(u64),
+    /// `1.5`.
+    Float(f64),
+    /// `"text"`.
+    Str(String),
+    /// `[1, 2, 3]`.
+    List(Vec<u64>),
+    /// `[[0, 1], [1, 2]]`.
+    Pairs(Vec<(usize, usize)>),
+    /// `["a", "b"]`.
+    StrList(Vec<String>),
+}
+
+impl Value {
+    /// A short human name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::List(_) => "integer list",
+            Value::Pairs(_) => "pair list",
+            Value::StrList(_) => "string list",
+        }
+    }
+}
+
+fn parse_int(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+/// Unescapes the body of a quoted string (only `\"` and `\\` escapes).
+fn unescape(line: usize, body: &str) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                other => return err(line, format!("bad escape `\\{:?}`", other)),
+            }
+        } else if c == '"' {
+            return err(line, "unescaped quote inside string");
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a bracket body on top-level commas, respecting quoted strings.
+fn split_items(body: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&body[start..]);
+    items
+}
+
+/// Parses one right-hand side.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying `line` when the text is not a
+/// number, quoted string, or single-line list.
+pub fn parse_value(line: usize, raw: &str) -> Result<Value, ParseError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return err(line, "missing value after `=`");
+    }
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return err(line, "unterminated string");
+        };
+        return Ok(Value::Str(unescape(line, body)?));
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return err(line, "unterminated list (arrays must fit on one line)");
+        };
+        let body = body.trim();
+        if body.is_empty() {
+            return Ok(Value::List(Vec::new()));
+        }
+        if body.starts_with('"') {
+            let mut items = Vec::new();
+            for item in split_items(body) {
+                let item = item.trim();
+                let Some(inner) = item
+                    .strip_prefix('"')
+                    .and_then(|rest| rest.strip_suffix('"'))
+                else {
+                    return err(line, format!("`{item}` is not a quoted string"));
+                };
+                items.push(unescape(line, inner)?);
+            }
+            return Ok(Value::StrList(items));
+        }
+        if body.starts_with('[') {
+            // A list of pairs: split on "]," boundaries.
+            let mut pairs = Vec::new();
+            for item in body.split("],") {
+                let item = item.trim().trim_start_matches('[').trim_end_matches(']');
+                let nums: Vec<&str> = item.split(',').map(str::trim).collect();
+                if nums.len() != 2 {
+                    return err(line, format!("`[{item}]` is not a pair"));
+                }
+                let a = parse_int(nums[0]);
+                let b = parse_int(nums[1]);
+                match (a, b) {
+                    (Some(a), Some(b)) => pairs.push((a as usize, b as usize)),
+                    _ => return err(line, format!("`[{item}]` is not an integer pair")),
+                }
+            }
+            return Ok(Value::Pairs(pairs));
+        }
+        let mut items = Vec::new();
+        for tok in body.split(',') {
+            let tok = tok.trim();
+            match parse_int(tok) {
+                Some(v) => items.push(v),
+                None => return err(line, format!("`{tok}` is not an integer")),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(v) = parse_int(raw) {
+        return Ok(Value::Int(v));
+    }
+    if let Ok(v) = raw.parse::<f64>() {
+        return Ok(Value::Float(v));
+    }
+    err(
+        line,
+        format!("`{raw}` is not a number, string, or list (strings need quotes)"),
+    )
+}
+
+/// Coerces `v` to a string, naming `key` in the error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] at `line` on a type mismatch.
+pub fn expect_str(line: usize, key: &str, v: &Value) -> Result<String, ParseError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        other => err(
+            line,
+            format!("`{key}` expects a quoted string, got {}", other.type_name()),
+        ),
+    }
+}
+
+/// Coerces `v` to an integer, naming `key` in the error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] at `line` on a type mismatch.
+pub fn expect_int(line: usize, key: &str, v: &Value) -> Result<u64, ParseError> {
+    match v {
+        Value::Int(n) => Ok(*n),
+        other => err(
+            line,
+            format!("`{key}` expects an integer, got {}", other.type_name()),
+        ),
+    }
+}
+
+/// Coerces `v` to an integer list, naming `key` in the error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] at `line` on a type mismatch.
+pub fn expect_list(line: usize, key: &str, v: &Value) -> Result<Vec<u64>, ParseError> {
+    match v {
+        Value::List(items) => Ok(items.clone()),
+        other => err(
+            line,
+            format!("`{key}` expects an integer list, got {}", other.type_name()),
+        ),
+    }
+}
+
+/// Coerces `v` to a string list (a lone string counts as a 1-list),
+/// naming `key` in the error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] at `line` on a type mismatch.
+pub fn expect_str_list(line: usize, key: &str, v: &Value) -> Result<Vec<String>, ParseError> {
+    match v {
+        Value::StrList(items) => Ok(items.clone()),
+        Value::Str(s) => Ok(vec![s.clone()]),
+        // An empty `[]` lexes as an empty integer list; accept it.
+        Value::List(items) if items.is_empty() => Ok(Vec::new()),
+        other => err(
+            line,
+            format!("`{key}` expects a string list, got {}", other.type_name()),
+        ),
+    }
+}
+
+/// Coerces `v` to a number (integer or float), naming `key` in the error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] at `line` on a type mismatch.
+pub fn expect_number(line: usize, key: &str, v: &Value) -> Result<f64, ParseError> {
+    match v {
+        Value::Int(n) => Ok(*n as f64),
+        Value::Float(f) => Ok(*f),
+        other => err(
+            line,
+            format!("`{key}` expects a number, got {}", other.type_name()),
+        ),
+    }
+}
+
+/// One `key = value` occurrence, with its line for error reporting.
+pub type Entry = (usize, String, Value);
+
+/// A `[section]` / `[[section]]` body (or the top-of-file header).
+#[derive(Debug, Default, Clone)]
+pub struct Section {
+    /// The name between the brackets, exactly as written (no trimming,
+    /// so `[ foo ]` does *not* match `foo`). Empty for the top section
+    /// and for malformed headers.
+    pub name: String,
+    /// The full header text as written, e.g. `[[role]]` — for error
+    /// messages that quote the offending line.
+    pub raw_header: String,
+    /// `true` for `[[name]]` array-of-table headers.
+    pub array: bool,
+    /// 1-based line of the header (0 for the top section).
+    pub header_line: usize,
+    /// The `key = value` entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Section {
+    /// The first value bound to `key`, with its line.
+    pub fn get(&self, key: &str) -> Option<(usize, &Value)> {
+        self.entries
+            .iter()
+            .find(|(_, k, _)| k == key)
+            .map(|(l, _, v)| (*l, v))
+    }
+
+    /// Rejects any key outside `allowed`, quoting `kind` in the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] at the offending entry's line.
+    pub fn check_keys(&self, kind: &str, allowed: &[&str]) -> Result<(), ParseError> {
+        for (line, key, _) in &self.entries {
+            if !allowed.contains(&key.as_str()) {
+                return err(
+                    *line,
+                    format!("`{key}` is not a valid key for {kind} (expected one of {allowed:?})"),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A whole parsed file: the headerless top section plus every named
+/// section in file order.
+#[derive(Debug, Default, Clone)]
+pub struct Document {
+    /// Entries before the first section header.
+    pub top: Section,
+    /// Named sections, in file order.
+    pub sections: Vec<Section>,
+}
+
+impl Document {
+    /// Parses `text` into sections without interpreting section names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] for a line that is neither blank, a
+    /// section header, nor `key = value`, and for malformed values.
+    pub fn parse(text: &str) -> Result<Document, ParseError> {
+        let mut doc = Document::default();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                let (name, array) = if let Some(inner) = line
+                    .strip_prefix("[[")
+                    .and_then(|rest| rest.strip_suffix("]]"))
+                {
+                    (inner.to_string(), true)
+                } else if let Some(inner) = line
+                    .strip_prefix('[')
+                    .and_then(|rest| rest.strip_suffix(']'))
+                {
+                    (inner.to_string(), false)
+                } else {
+                    // Malformed header: keep the raw text so the consumer
+                    // can quote it in an "unknown section" error.
+                    (String::new(), false)
+                };
+                doc.sections.push(Section {
+                    name,
+                    raw_header: line.to_string(),
+                    array,
+                    header_line: lineno,
+                    entries: Vec::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return err(lineno, format!("expected `key = value`, got `{line}`"));
+            };
+            let key = key.trim().to_string();
+            let value = parse_value(lineno, value)?;
+            let section = doc.sections.last_mut().unwrap_or(&mut doc.top);
+            section.entries.push((lineno, key, value));
+        }
+        Ok(doc)
+    }
+}
+
+/// Strips a trailing `#` comment, respecting quoted strings.
+pub fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_keep_order_and_lines() {
+        let doc = Document::parse(
+            "top = 1\n# comment\n[alpha]\na = 2\n[[beta]]\nb = \"x\"\n[[beta]]\nb = \"y\"",
+        )
+        .unwrap();
+        assert_eq!(doc.top.entries, vec![(1, "top".into(), Value::Int(1))]);
+        assert_eq!(doc.sections.len(), 3);
+        assert_eq!(doc.sections[0].name, "alpha");
+        assert!(!doc.sections[0].array);
+        assert_eq!(doc.sections[0].header_line, 3);
+        assert_eq!(doc.sections[1].name, "beta");
+        assert!(doc.sections[1].array);
+        assert_eq!(doc.sections[2].get("b"), Some((8, &Value::Str("y".into()))));
+    }
+
+    #[test]
+    fn malformed_headers_keep_raw_text() {
+        let doc = Document::parse("[oops\nk = 1").unwrap();
+        assert_eq!(doc.sections[0].name, "");
+        assert_eq!(doc.sections[0].raw_header, "[oops");
+        // `[ x ]` is a section named " x ", not "x": consumers match
+        // exact names, preserving the strict PR 4 behaviour.
+        let doc = Document::parse("[ x ]").unwrap();
+        assert_eq!(doc.sections[0].name, " x ");
+    }
+
+    #[test]
+    fn string_lists_respect_quotes_and_escapes() {
+        let v = parse_value(1, r#"["a, b", "c \"q\"", ""]"#).unwrap();
+        assert_eq!(
+            v,
+            Value::StrList(vec!["a, b".into(), "c \"q\"".into(), String::new()])
+        );
+        assert_eq!(
+            expect_str_list(1, "k", &Value::List(Vec::new())).unwrap(),
+            Vec::<String>::new()
+        );
+        assert!(parse_value(1, r#"["a", 3]"#).is_err());
+    }
+
+    #[test]
+    fn scalar_values_parse() {
+        assert_eq!(parse_value(1, "0x2A").unwrap(), Value::Int(42));
+        assert_eq!(parse_value(1, "1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(
+            parse_value(1, "[[0, 1], [2, 3]]").unwrap(),
+            Value::Pairs(vec![(0, 1), (2, 3)])
+        );
+        let e = parse_value(7, "oops").unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.msg.contains("strings need quotes"), "{e}");
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        assert_eq!(strip_comment(r#"k = "a # b" # real"#), r#"k = "a # b" "#);
+        let e = Document::parse("not a kv line").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("key = value"), "{e}");
+    }
+}

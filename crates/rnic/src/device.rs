@@ -223,16 +223,15 @@ impl Rnic {
         &self.qps[&num.raw()]
     }
 
-    /// Pre-posts a receive buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the QP does not exist.
+    /// Pre-posts a receive buffer. Posting to an unknown QP is a harness
+    /// bug: debug builds assert, release builds drop the buffer (the
+    /// receive side then reports an autofill instead of corrupting state).
     pub fn post_recv(&mut self, qp: QpNum, wr: RecvWr) {
-        self.qps
-            .get_mut(&qp.raw())
-            .expect("unknown QP")
-            .post_recv(wr);
+        let Some(qp) = self.qps.get_mut(&qp.raw()) else {
+            debug_assert!(false, "post_recv on unknown QP");
+            return;
+        };
+        qp.post_recv(wr);
     }
 
     fn alloc_msg(&mut self) -> MsgId {
@@ -298,10 +297,8 @@ impl Rnic {
     /// # Errors
     ///
     /// If any work request fails validation, no work is enqueued.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the QP does not exist.
+    /// Posting on an unknown QP is a harness bug: debug builds assert,
+    /// release builds drop the batch and return no actions.
     pub fn post_send_batch(
         &mut self,
         now: SimTime,
@@ -310,19 +307,25 @@ impl Rnic {
         slab: &mut PacketSlab,
     ) -> Result<Vec<RnicAction>, VerbsError> {
         // Validate everything up front.
+        let Some(qp) = self.qps.get_mut(&qp_num.raw()) else {
+            debug_assert!(false, "post_send_batch on unknown QP");
+            return Ok(Vec::new());
+        };
         for wr in &wrs {
-            let qp = self.qps.get_mut(&qp_num.raw()).expect("unknown QP");
             qp.post_send(*wr)?;
         }
         let mut out = Vec::new();
         let wqe_at = now + self.cfg.mmio_post;
         for _ in 0..wrs.len() {
-            let wr = self
+            // launch_wr needs &mut self, so re-fetch the QP each round.
+            let Some(wr) = self
                 .qps
                 .get_mut(&qp_num.raw())
-                .expect("unknown QP")
-                .pop_send()
-                .expect("just posted");
+                .and_then(QueuePair::pop_send)
+            else {
+                debug_assert!(false, "send queue lost a just-posted WR");
+                break;
+            };
             self.launch_wr(now, wqe_at, qp_num, wr, slab, &mut out);
         }
         Ok(out)
@@ -349,10 +352,11 @@ impl Rnic {
 
         let msg = self.alloc_msg();
         self.owner.insert(msg.raw(), qp_num.raw());
-        self.qps
-            .get_mut(&qp_num.raw())
-            .expect("unknown QP")
-            .register_outstanding(msg, wr, posted_at);
+        let Some(qp) = self.qps.get_mut(&qp_num.raw()) else {
+            debug_assert!(false, "launch_wr on unknown QP");
+            return;
+        };
+        qp.register_outstanding(msg, wr, posted_at);
 
         if wr.loopback {
             self.launch_loopback(engine_done, qp_num, msg, wr, out);
@@ -456,8 +460,14 @@ impl Rnic {
 
         // Requester completion: internal turnaround plays the ACK's role.
         let visible = delivered + self.cfg.loopback_turnaround + self.cfg.dma_write_latency;
-        let qp = self.qps.get_mut(&qp_num.raw()).expect("unknown QP");
-        let done = qp.complete(msg).expect("just registered");
+        let Some(qp) = self.qps.get_mut(&qp_num.raw()) else {
+            debug_assert!(false, "loopback completion on unknown QP");
+            return;
+        };
+        let Ok(done) = qp.complete(msg) else {
+            debug_assert!(false, "loopback message was never registered");
+            return;
+        };
         self.owner.remove(&msg.raw());
         self.stats.loopbacks += 1;
         if done.wr.signaled {
@@ -493,14 +503,17 @@ impl Rnic {
     }
 
     fn take_recv(&mut self, qp_num: QpNum, bytes: u64) -> RecvWr {
-        let qp = self.qps.get_mut(&qp_num.raw()).expect("unknown QP");
-        match qp.consume_recv() {
-            Ok(wr) => wr,
-            Err(_) => {
-                self.stats.recv_autofills += 1;
-                RecvWr::new(WrId(u64::MAX), bytes)
+        let posted = match self.qps.get_mut(&qp_num.raw()) {
+            Some(qp) => qp.consume_recv().ok(),
+            None => {
+                debug_assert!(false, "take_recv on unknown QP");
+                None
             }
-        }
+        };
+        posted.unwrap_or_else(|| {
+            self.stats.recv_autofills += 1;
+            RecvWr::new(WrId(u64::MAX), bytes)
+        })
     }
 
     /// A self-scheduled wake-up: moves ready packets to the injection
@@ -515,7 +528,7 @@ impl Rnic {
     fn drain_pending(&mut self, now: SimTime) {
         let due: Vec<SimTime> = self.pending_tx.range(..=now).map(|(t, _)| *t).collect();
         for t in due {
-            for item in self.pending_tx.remove(&t).expect("key present") {
+            for item in self.pending_tx.remove(&t).into_iter().flatten() {
                 match item {
                     PendingTx::Data(vl, h, wire) => self.txq.push_data(vl, h, wire),
                     PendingTx::Ack(vl, h, wire) => self.txq.push_ack(h, vl, wire),
@@ -573,7 +586,10 @@ impl Rnic {
             return;
         };
         let qp_num = QpNum::new(qp_raw);
-        let qp = self.qps.get_mut(&qp_raw).expect("owner maps to a QP");
+        let Some(qp) = self.qps.get_mut(&qp_raw) else {
+            debug_assert!(false, "owner table references unknown QP {qp_raw}");
+            return;
+        };
         let Ok(done) = qp.complete(msg) else {
             return;
         };

@@ -86,18 +86,19 @@ impl TxQueue {
     where
         F: FnMut(VirtualLane, u64) -> bool,
     {
-        if let Some(front) = self.acks.front() {
-            if credit_ok(front.vl, front.wire) {
-                let e = self.acks.pop_front().expect("front exists");
+        // TxEntry is Copy: peek by value, then dequeue only on success.
+        if let Some(e) = self.acks.front().copied() {
+            if credit_ok(e.vl, e.wire) {
+                self.acks.pop_front();
                 return Some((e.packet, e.vl, e.wire));
             }
         }
         let lanes = self.data.len();
         for step in 0..lanes {
             let i = (self.cursor + step) % lanes;
-            if let Some(front) = self.data[i].front() {
-                if credit_ok(front.vl, front.wire) {
-                    let e = self.data[i].pop_front().expect("front exists");
+            if let Some(e) = self.data[i].front().copied() {
+                if credit_ok(e.vl, e.wire) {
+                    self.data[i].pop_front();
                     self.cursor = (i + 1) % lanes;
                     return Some((e.packet, e.vl, e.wire));
                 }

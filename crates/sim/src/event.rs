@@ -289,6 +289,13 @@ impl<E> EventQueue<E> {
         } else {
             self.ready.pop_front()?
         };
+        #[cfg(feature = "sim-sanitizer")]
+        debug_assert!(
+            entry.at >= self.now,
+            "sim-sanitizer: event time regressed: {:?} < now {:?}",
+            entry.at,
+            self.now
+        );
         self.now = entry.at;
         self.popped += 1;
         self.len -= 1;

@@ -87,8 +87,10 @@ pub fn run<W: World>(
                 None => return RunOutcome::QueueDrained,
                 _ => {}
             }
-            let (now, ev) = q.pop().expect("peeked event vanished");
-            world.handle(now, ev, q);
+            // peek_time just returned Some, so pop always yields here.
+            if let Some((now, ev)) = q.pop() {
+                world.handle(now, ev, q);
+            }
         },
         StopCondition::EventBudget(mut budget) => loop {
             if budget == 0 {

@@ -92,7 +92,7 @@ impl PacketScheduler {
         // Periodically rebase so counters never overflow and idle ports do
         // not accrue an unbounded advantage.
         if self.served[port.index()] >= u64::MAX / 2 {
-            let min = *self.served.iter().min().expect("non-empty");
+            let min = self.served.iter().min().copied().unwrap_or(0);
             for s in &mut self.served {
                 *s -= min;
             }

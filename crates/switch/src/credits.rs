@@ -72,6 +72,11 @@ impl CreditLedger {
             return false;
         }
         *a -= bytes;
+        #[cfg(feature = "sim-sanitizer")]
+        debug_assert!(
+            self.available[vl.index()] <= self.initial[vl.index()],
+            "sim-sanitizer: {vl} credits exceed the initial grant after consume"
+        );
         true
     }
 
@@ -79,6 +84,14 @@ impl CreditLedger {
     /// grant (over-replenishment indicates a protocol bug and is clamped).
     pub fn replenish(&mut self, vl: VirtualLane, bytes: u64) {
         let i = vl.index();
+        // (Clamping small over-replenishment is documented API slack; a
+        // single return larger than the whole grant is always a bug.)
+        #[cfg(feature = "sim-sanitizer")]
+        debug_assert!(
+            bytes <= self.initial[i],
+            "sim-sanitizer: credit return of {bytes} B on {vl} exceeds the whole grant of {} B",
+            self.initial[i]
+        );
         self.available[i] = (self.available[i] + bytes).min(self.initial[i]);
     }
 
@@ -125,6 +138,9 @@ mod tests {
         assert_eq!(c.available(vl1), 1_000);
     }
 
+    // The sanitizer turns the silent clamp into a debug_assert, so this
+    // test only makes sense without it.
+    #[cfg(not(feature = "sim-sanitizer"))]
     #[test]
     fn over_replenish_clamped() {
         let mut c = CreditLedger::new(1, 1_000);

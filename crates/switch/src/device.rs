@@ -306,18 +306,27 @@ impl Switch {
             }
             return;
         };
-        let candidates = &per_vl
+        // The chosen VL came from the candidate set, the scheduler picks
+        // among non-empty candidates, and the candidate head is still
+        // buffered: all three lookups are infallible by construction, but
+        // a panic here would abort a whole sweep, so degrade to skipping
+        // this dispatch under debug_assert cover instead.
+        let Some(candidates) = per_vl
             .iter()
             .find(|(cand_vl, _)| *cand_vl == vl)
-            .expect("chosen VL came from the candidate set")
-            .1;
-        let ingress = self.scheds[e]
-            .pick(candidates)
-            .expect("scheduler must pick among non-empty candidates");
-
-        let entry = self.buffers[ingress.index()][vl.index()]
-            .pop()
-            .expect("candidate head vanished");
+            .map(|(_, list)| list)
+        else {
+            debug_assert!(false, "chosen VL {vl} missing from the candidate set");
+            return;
+        };
+        let Some(ingress) = self.scheds[e].pick(candidates) else {
+            debug_assert!(false, "scheduler declined non-empty candidates");
+            return;
+        };
+        let Some(entry) = self.buffers[ingress.index()][vl.index()].pop() else {
+            debug_assert!(false, "candidate head vanished from {ingress:?}/{vl}");
+            return;
+        };
         let size = entry.wire;
         let consumed = self.down_credits[e].consume(vl, size);
         debug_assert!(consumed, "candidate was filtered by credit availability");

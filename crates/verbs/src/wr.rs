@@ -6,6 +6,13 @@ use rperf_model::{Lid, QpNum, ServiceLevel, Transport, Verb};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct WrId(pub u64);
 
+impl WrId {
+    /// The raw identifier value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// A send-queue work request: one SEND, WRITE or READ operation.
 ///
 /// # Examples

@@ -1,6 +1,8 @@
 //! The `rperf-lab` meta-crate: re-exports the whole rperf-rs workspace
 //! so the examples and integration tests at the repository root can use
 //! every public API through one dependency.
+#![forbid(unsafe_code)]
+
 pub use rperf;
 pub use rperf_fabric;
 pub use rperf_host;
