@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint lint-invariants sanitize-smoke build test bench bench-smoke report quick-report scenario-smoke
+.PHONY: ci fmt lint lint-invariants sanitize-smoke build test bench bench-smoke report quick-report scenario-smoke perf-gate serve serve-smoke
 
-ci: fmt lint lint-invariants build test
+ci: fmt lint lint-invariants build test perf-gate
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -46,11 +46,38 @@ quick-report:
 bench-smoke:
 	$(CARGO) run --release -p rperf-bench --bin report -- --quick --jobs 1
 
+# Perf-regression gate: rerun the reduced report single-job and fail if
+# any figure (or the aggregate) falls more than 10% below the committed
+# BENCH_baseline.json (sub-second figures get a noise-widened tolerance;
+# see report.rs). Re-bless after an intentional perf change with
+# `cp BENCH_report.json BENCH_baseline.json`.
+perf-gate:
+	$(CARGO) run --release -p rperf-bench --bin report -- --quick --jobs 1 --gate 10
+
 # CI smoke: run the beyond-paper example scenarios end-to-end from their
-# spec files and check the emitted JSON parses.
+# spec files and check the emitted JSON parses, then assert the typed
+# exit codes: missing file -> 3 (I/O), syntax error -> 2 (spec parse)
+# with a line-numbered diagnostic on stderr.
 scenario-smoke:
 	$(CARGO) run --release -p rperf-cli -- scenario examples/scenarios/chain_gaming.scn --json | python3 -m json.tool > /dev/null
 	$(CARGO) run --release -p rperf-cli -- scenario examples/scenarios/incast_8.scn --json | python3 -m json.tool > /dev/null
+	$(CARGO) run --release -q -p rperf-cli -- scenario /nonexistent/missing.scn 2>/dev/null; test $$? -eq 3
+	printf 'name = "x"\nbogus_key = 1\n' > /tmp/rperf_smoke_bad.scn
+	$(CARGO) run --release -q -p rperf-cli -- scenario /tmp/rperf_smoke_bad.scn 2>/tmp/rperf_smoke_bad.err; test $$? -eq 2
+	grep -q 'line 2' /tmp/rperf_smoke_bad.err
+
+# Runs the scenario service in the foreground on the default port
+# (stop it with `rperf-cli serve-stats --shutdown`).
+serve:
+	$(CARGO) run --release -p rperf-serve
+
+# CI smoke for the serving layer: wire-protocol property tests, the
+# deterministic chaos suite (worker panic, truncated/stalled clients,
+# overload shedding, budget deadlines, drain), and 200 concurrent
+# submissions against a live server with injected faults, asserting
+# typed responses, cache hits, and byte-identical outcomes.
+serve-smoke:
+	$(CARGO) test -q --release -p rperf-serve --test proto_prop --test chaos --test smoke
 
 # The historical per-figure binaries (fig4 … fig13) are aliases onto the
 # single `figure` binary: `make fig7`, `make fig13 ARGS="--quick"`.

@@ -116,6 +116,26 @@ pub enum Command {
         /// Emit the outcome as deterministic JSON instead of text.
         json: bool,
     },
+    /// Submit a scenario-spec file to a running `rperf-serve` daemon.
+    Submit {
+        /// Path of the spec file.
+        file: String,
+        /// Experiment seed.
+        seed: u64,
+        /// Daemon address, `host:port`.
+        addr: String,
+        /// Total attempts (1 = no retries).
+        attempts: u32,
+        /// Socket/read timeout in milliseconds.
+        timeout_ms: u64,
+    },
+    /// Fetch a running daemon's stats snapshot (or ask it to drain).
+    ServeStats {
+        /// Daemon address, `host:port`.
+        addr: String,
+        /// Send SHUTDOWN instead of STATS: begin a graceful drain.
+        shutdown: bool,
+    },
     /// A payload sweep (64 B – 4096 B) averaged over seeds, fanned across
     /// worker threads.
     Sweep {
@@ -194,6 +214,55 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// A command failure, typed so `main` can map each class to a distinct
+/// process exit code — scripts (and `make scenario-smoke`) can tell flag
+/// misuse from a bad spec from transport trouble without scraping stderr:
+///
+/// | variant   | exit code | meaning                                       |
+/// |-----------|-----------|-----------------------------------------------|
+/// | `Usage`   | 1         | unknown command / malformed flags             |
+/// | `Spec`    | 2         | scenario text failed to parse (line-numbered) |
+/// | `Io`      | 3         | file unreadable or server unreachable         |
+/// | `Runtime` | 4         | the run itself failed (validation, deadline,  |
+/// |           |           | server-side error)                            |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Unknown command or malformed flags (exit 1).
+    Usage(String),
+    /// The scenario text failed to parse; the message carries the file
+    /// path and 1-based line number (exit 2).
+    Spec(String),
+    /// A file could not be read or a server could not be reached (exit 3).
+    Io(String),
+    /// The run failed after parsing: spec validation, a deadline, or a
+    /// typed server-side failure (exit 4).
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Spec(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Runtime(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Spec(m) | CliError::Io(m) | CliError::Runtime(m) => {
+                write!(f, "{m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
 /// The usage text.
 pub const USAGE: &str = "\
 rperf-cli — InfiniBand switch evaluation (simulated)
@@ -210,7 +279,14 @@ COMMANDS:
     chain      switch-chain extension  [--switches N] [--bsgs N]
     sweep      payload sweep 64B-4096B [--what lat|bw] [--no-switch] [--seeds N]
     scenario   run a spec file         <FILE> [--seed N] [--json]
+    submit     send a spec file to a running rperf-serve daemon
+                                       <FILE> [--seed N] [--addr HOST:PORT]
+                                       [--attempts N] [--timeout-ms N]
+    serve-stats  fetch daemon stats    [--addr HOST:PORT] [--shutdown]
     help       this text
+
+EXIT CODES:
+    0 success   1 usage   2 spec parse error   3 I/O   4 runtime failure
 
 COMMON OPTIONS:
     --duration MS     measurement window in milliseconds (default 5)
@@ -268,6 +344,74 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             seed,
             json,
         });
+    }
+    // `submit` mirrors `scenario` but sends the spec to a daemon.
+    if cmd == "submit" {
+        let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            return Err(ParseError("submit needs a spec file path".into()));
+        };
+        let mut seed = 1u64;
+        let mut addr = "127.0.0.1:7117".to_string();
+        let mut attempts = 5u32;
+        let mut timeout_ms = 40_000u64;
+        let mut i = 2;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    seed = parse_u64("--seed", args.get(i + 1))?;
+                    i += 2;
+                }
+                "--addr" => {
+                    addr = args
+                        .get(i + 1)
+                        .ok_or_else(|| ParseError("--addr needs a value".into()))?
+                        .clone();
+                    i += 2;
+                }
+                "--attempts" => {
+                    attempts = parse_u64("--attempts", args.get(i + 1))?.clamp(1, 100) as u32;
+                    i += 2;
+                }
+                "--timeout-ms" => {
+                    timeout_ms = parse_u64("--timeout-ms", args.get(i + 1))?;
+                    i += 2;
+                }
+                other => return Err(ParseError(format!("unknown option `{other}` for submit"))),
+            }
+        }
+        return Ok(Command::Submit {
+            file: file.clone(),
+            seed,
+            addr,
+            attempts,
+            timeout_ms,
+        });
+    }
+    if cmd == "serve-stats" {
+        let mut addr = "127.0.0.1:7117".to_string();
+        let mut shutdown = false;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--addr" => {
+                    addr = args
+                        .get(i + 1)
+                        .ok_or_else(|| ParseError("--addr needs a value".into()))?
+                        .clone();
+                    i += 2;
+                }
+                "--shutdown" => {
+                    shutdown = true;
+                    i += 1;
+                }
+                other => {
+                    return Err(ParseError(format!(
+                        "unknown option `{other}` for serve-stats"
+                    )))
+                }
+            }
+        }
+        return Ok(Command::ServeStats { addr, shutdown });
     }
     let mut payload: Option<u64> = None;
     let mut no_switch = false;
@@ -441,16 +585,85 @@ fn spec_of(common: &Common) -> RunSpec {
 }
 
 /// Loads, validates and executes a scenario-spec file.
-fn run_scenario(file: &str, seed: u64, json: bool) -> Result<String, String> {
-    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-    let spec = rperf::ScenarioSpec::parse(&text).map_err(|e| format!("{file}:{e}"))?;
-    spec.validate().map_err(|e| format!("{file}: {e}"))?;
+///
+/// Each failure class maps to its own [`CliError`] variant (distinct exit
+/// code): an unreadable file is `Io`, a syntax error is `Spec` — with the
+/// parser's 1-based line number preserved as `file:line N: message` — and
+/// a spec that parses but fails validation is `Runtime`.
+fn run_scenario(file: &str, seed: u64, json: bool) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(file).map_err(|e| CliError::Io(format!("{file}: {e}")))?;
+    // `ParseError` renders as `line N: msg`; prefixing the path yields the
+    // compiler-style `file:line N: msg` the smoke test greps for.
+    let spec =
+        rperf::ScenarioSpec::parse(&text).map_err(|e| CliError::Spec(format!("{file}:{e}")))?;
+    spec.validate()
+        .map_err(|e| CliError::Runtime(format!("{file}: {e}")))?;
     let out = rperf::execute(&spec, seed);
     Ok(if json {
         out.to_json()
     } else {
         render_outcome(&out)
     })
+}
+
+/// Reads a spec file and submits it to a running `rperf-serve` daemon,
+/// retrying transient failures; prints the outcome JSON on success.
+fn run_submit(
+    file: &str,
+    seed: u64,
+    addr: &str,
+    attempts: u32,
+    timeout_ms: u64,
+) -> Result<String, CliError> {
+    use rperf_serve::protocol::ErrorCode;
+    use rperf_serve::{Client, ClientConfig, ClientError};
+
+    let text = std::fs::read_to_string(file).map_err(|e| CliError::Io(format!("{file}: {e}")))?;
+    let client = Client::new(ClientConfig {
+        addr: addr.to_string(),
+        io_timeout_ms: timeout_ms,
+        attempts,
+        retry_seed: seed,
+        ..ClientConfig::default()
+    });
+    match client.submit(&text, seed) {
+        Ok(outcome) => Ok(outcome.json),
+        Err(ClientError::Server { code, message }) => match code {
+            // The server parses the same grammar `scenario` does, so the
+            // message already carries the 1-based line number.
+            ErrorCode::ParseError => Err(CliError::Spec(format!("{file}:{message}"))),
+            ErrorCode::InvalidSpec => Err(CliError::Runtime(format!("{file}: {message}"))),
+            other => Err(CliError::Runtime(format!("{other}: {message}"))),
+        },
+        Err(ClientError::Io(e)) => Err(CliError::Io(format!("{addr}: {e}"))),
+        Err(ClientError::Protocol(e)) => Err(CliError::Io(format!("{addr}: protocol: {e}"))),
+        Err(e @ ClientError::Exhausted { .. }) => {
+            // Whether the attempts died on transport or on shedding, the
+            // service was effectively unreachable.
+            Err(CliError::Io(format!("{addr}: {e}")))
+        }
+    }
+}
+
+/// Fetches a daemon's stats snapshot, or (with `shutdown`) begins its
+/// graceful drain.
+fn run_serve_stats(addr: &str, shutdown: bool) -> Result<String, CliError> {
+    use rperf_serve::{Client, ClientConfig};
+    let client = Client::new(ClientConfig {
+        addr: addr.to_string(),
+        attempts: 1,
+        ..ClientConfig::default()
+    });
+    if shutdown {
+        client
+            .shutdown()
+            .map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
+        Ok(format!("rperf-serve at {addr}: drain acknowledged"))
+    } else {
+        client
+            .stats()
+            .map_err(|e| CliError::Io(format!("{addr}: {e}")))
+    }
 }
 
 /// Human-readable rendering of a scenario outcome, one line per role.
@@ -489,16 +702,26 @@ fn render_outcome(out: &rperf::ScenarioOutcome) -> String {
     text
 }
 
-/// Executes a parsed command; `Err` carries the message for stderr (a
-/// missing or malformed scenario file) and a non-zero exit code.
+/// Executes a parsed command; `Err` carries the message for stderr plus
+/// the failure class that picks the process exit code.
 ///
 /// # Errors
 ///
-/// Only `scenario` can fail: unreadable file, syntax error (with the
-/// offending line number), or a spec that fails validation.
-pub fn run(cmd: &Command) -> Result<String, String> {
+/// Only the file- and network-backed commands can fail: `scenario`
+/// (unreadable file → `Io`, syntax error with line number → `Spec`,
+/// failed validation → `Runtime`), `submit` and `serve-stats` (the same
+/// classes, with transport failures as `Io`).
+pub fn run(cmd: &Command) -> Result<String, CliError> {
     match cmd {
         Command::Scenario { file, seed, json } => run_scenario(file, *seed, *json),
+        Command::Submit {
+            file,
+            seed,
+            addr,
+            attempts,
+            timeout_ms,
+        } => run_submit(file, *seed, addr, *attempts, *timeout_ms),
+        Command::ServeStats { addr, shutdown } => run_serve_stats(addr, *shutdown),
         other => Ok(execute(other)),
     }
 }
@@ -511,6 +734,17 @@ pub fn execute(cmd: &Command) -> String {
         Command::Help => USAGE.to_string(),
         Command::Scenario { file, seed, json } => {
             run_scenario(file, *seed, *json).unwrap_or_else(|e| format!("error: {e}"))
+        }
+        Command::Submit {
+            file,
+            seed,
+            addr,
+            attempts,
+            timeout_ms,
+        } => run_submit(file, *seed, addr, *attempts, *timeout_ms)
+            .unwrap_or_else(|e| format!("error: {e}")),
+        Command::ServeStats { addr, shutdown } => {
+            run_serve_stats(addr, *shutdown).unwrap_or_else(|e| format!("error: {e}"))
         }
         Command::Lat {
             payload,
@@ -876,15 +1110,22 @@ mod tests {
     }
 
     #[test]
-    fn scenario_failures_are_errors_with_context() {
+    fn scenario_failures_are_typed_with_context() {
+        // Unreadable file: Io, exit 3.
         let missing = run(&Command::Scenario {
             file: "no/such/file.scn".into(),
             seed: 1,
             json: false,
         })
         .unwrap_err();
-        assert!(missing.contains("no/such/file.scn"), "{missing}");
+        assert!(matches!(missing, CliError::Io(_)), "{missing:?}");
+        assert_eq!(missing.exit_code(), 3);
+        assert!(
+            missing.to_string().contains("no/such/file.scn"),
+            "{missing}"
+        );
 
+        // Syntax error: Spec, exit 2, line-numbered diagnostic.
         let bad = scratch_file("cli_bad.scn", "name = \"x\"\nbogus_key = 1\n");
         let syntax = run(&Command::Scenario {
             file: bad.clone(),
@@ -892,8 +1133,11 @@ mod tests {
             json: false,
         })
         .unwrap_err();
-        assert!(syntax.contains("line 2"), "{syntax}");
+        assert!(matches!(syntax, CliError::Spec(_)), "{syntax:?}");
+        assert_eq!(syntax.exit_code(), 2);
+        assert!(syntax.to_string().contains("line 2"), "{syntax}");
 
+        // Parses but fails validation: Runtime, exit 4.
         let invalid = scratch_file(
             "cli_invalid.scn",
             "[topology]\nkind = \"direct_pair\"\n\n[[role]]\nnode = 5\nkind = \"sink\"\n",
@@ -904,6 +1148,121 @@ mod tests {
             json: false,
         })
         .unwrap_err();
-        assert!(semantic.contains("2 hosts"), "{semantic}");
+        assert!(matches!(semantic, CliError::Runtime(_)), "{semantic:?}");
+        assert_eq!(semantic.exit_code(), 4);
+        assert!(semantic.to_string().contains("2 hosts"), "{semantic}");
+    }
+
+    #[test]
+    fn parses_submit_and_serve_stats() {
+        let cmd = parse(&args(
+            "submit exp.scn --seed 7 --addr 127.0.0.1:9000 --attempts 3 --timeout-ms 500",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Submit {
+                file: "exp.scn".into(),
+                seed: 7,
+                addr: "127.0.0.1:9000".into(),
+                attempts: 3,
+                timeout_ms: 500,
+            }
+        );
+        assert!(parse(&args("submit")).is_err(), "missing file path");
+        assert!(parse(&args("submit exp.scn --bogus")).is_err());
+
+        let cmd = parse(&args("serve-stats --addr 127.0.0.1:9000 --shutdown")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ServeStats {
+                addr: "127.0.0.1:9000".into(),
+                shutdown: true,
+            }
+        );
+        assert!(parse(&args("serve-stats --bogus")).is_err());
+    }
+
+    #[test]
+    fn submit_failures_are_typed() {
+        // Unreadable spec never touches the network: Io, exit 3.
+        let missing = run(&Command::Submit {
+            file: "no/such/file.scn".into(),
+            seed: 1,
+            addr: "127.0.0.1:1".into(),
+            attempts: 1,
+            timeout_ms: 100,
+        })
+        .unwrap_err();
+        assert!(matches!(missing, CliError::Io(_)), "{missing:?}");
+
+        // Unreachable server (port 1, one attempt): Io, exit 3.
+        let file = scratch_file("cli_submit_probe.scn", "name = \"x\"\n");
+        let down = run(&Command::Submit {
+            file,
+            seed: 1,
+            addr: "127.0.0.1:1".into(),
+            attempts: 1,
+            timeout_ms: 200,
+        })
+        .unwrap_err();
+        assert!(matches!(down, CliError::Io(_)), "{down:?}");
+        assert_eq!(down.exit_code(), 3);
+    }
+
+    #[test]
+    fn submit_round_trips_against_a_live_server() {
+        let server = rperf_serve::Server::start(rperf_serve::ServeConfig::default())
+            .expect("bind ephemeral port");
+        let addr = server.addr().to_string();
+
+        let file = scratch_file(
+            "cli_submit_live.scn",
+            "name = \"probe\"\nwarmup_us = 50\nduration_us = 400\n\n\
+             [topology]\nkind = \"single_switch\"\nhosts = 2\n\n\
+             [[role]]\nnode = 0\nkind = \"rperf\"\ntarget = 1\n\n\
+             [[role]]\nnode = 1\nkind = \"sink\"\n",
+        );
+        let submit = |file: String| {
+            run(&Command::Submit {
+                file,
+                seed: 1,
+                addr: addr.clone(),
+                attempts: 3,
+                timeout_ms: 30_000,
+            })
+        };
+        let json = submit(file.clone()).expect("live submit");
+        assert!(json.starts_with("{\"scenario\":\"probe\""), "{json}");
+        // The local executor and the daemon agree byte-for-byte.
+        let local = run(&Command::Scenario {
+            file: file.clone(),
+            seed: 1,
+            json: true,
+        })
+        .expect("local run");
+        assert_eq!(json, local);
+
+        // A parse failure crosses the wire typed, with its line number.
+        let bad = scratch_file("cli_submit_bad.scn", "name = \"x\"\nbogus_key = 1\n");
+        let syntax = submit(bad).unwrap_err();
+        assert!(matches!(syntax, CliError::Spec(_)), "{syntax:?}");
+        assert_eq!(syntax.exit_code(), 2);
+        assert!(syntax.to_string().contains("line 2"), "{syntax}");
+
+        // Stats round-trip, then drain.
+        let stats = run(&Command::ServeStats {
+            addr: addr.clone(),
+            shutdown: false,
+        })
+        .expect("stats");
+        assert!(stats.contains("\"results_ok\":1"), "{stats}");
+        let ack = run(&Command::ServeStats {
+            addr: addr.clone(),
+            shutdown: true,
+        })
+        .expect("shutdown handshake");
+        assert!(ack.contains("drain acknowledged"), "{ack}");
+        let _ = server.run_until_shutdown();
     }
 }

@@ -1,4 +1,9 @@
 //! `rperf-cli`: the command-line front end.
+//!
+//! Exit codes are part of the interface (scripts and `make
+//! scenario-smoke` assert on them): 0 success, 1 usage, 2 spec parse
+//! error, 3 I/O, 4 runtime failure. Diagnostics go to stderr; stdout
+//! carries only command output.
 
 #![forbid(unsafe_code)]
 
@@ -14,12 +19,12 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(e.exit_code())
             }
         },
         Err(e) => {
             eprintln!("error: {e}\n\n{}", rperf_cli::USAGE);
-            ExitCode::FAILURE
+            ExitCode::from(1)
         }
     }
 }

@@ -11,7 +11,7 @@
 
 use rperf_fabric::{FabricBuilder, Sim};
 use rperf_model::ClusterConfig;
-use rperf_sim::{SimDuration, SimTime};
+use rperf_sim::{RunOutcome, SimDuration, SimTime};
 use rperf_stats::{json, LatencySummary};
 use rperf_workloads::{build_workload, Bsg, ClosedLoopPing, PretendLsg, Sink, WorkloadRole};
 
@@ -258,6 +258,78 @@ fn collect(sim: &Sim, r: &RoleSpec, end: SimTime) -> RoleReport {
     }
 }
 
+/// Hard caps on one scenario execution, for callers that cannot afford an
+/// unbounded run (the serving layer enforces per-request deadlines).
+///
+/// `max_events` bounds simulated work; `cancelled` is polled every
+/// `check_every` events and may consult any external signal — wall-clock
+/// deadlines, shutdown flags — without that signal leaking into the
+/// deterministic engine. An execution that is never interrupted produces a
+/// [`ScenarioOutcome`] bit-identical to [`execute`]'s.
+pub struct ExecBudget<'a> {
+    /// Maximum simulated events to process (`u64::MAX` = unbounded).
+    pub max_events: u64,
+    /// How many events to process between cancellation checks.
+    pub check_every: u64,
+    /// Cooperative cancellation hook; `true` aborts the run.
+    pub cancelled: Option<&'a mut dyn FnMut() -> bool>,
+}
+
+impl std::fmt::Debug for ExecBudget<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecBudget")
+            .field("max_events", &self.max_events)
+            .field("check_every", &self.check_every)
+            .field("cancelled", &self.cancelled.is_some())
+            .finish()
+    }
+}
+
+impl ExecBudget<'_> {
+    /// A budget that never interrupts (what [`execute`] runs under).
+    pub fn unbounded() -> Self {
+        ExecBudget {
+            max_events: u64::MAX,
+            check_every: 8192,
+            cancelled: None,
+        }
+    }
+
+    /// Caps simulated work at `max_events`.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+}
+
+/// Why a budgeted execution stopped before the scenario's time horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecInterrupt {
+    /// The simulated-event budget ran out.
+    EventBudget {
+        /// Events processed before the budget ran out.
+        events: u64,
+    },
+    /// The cancellation hook fired (deadline, shutdown, ...).
+    Cancelled {
+        /// Events processed before cancellation.
+        events: u64,
+    },
+}
+
+impl std::fmt::Display for ExecInterrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecInterrupt::EventBudget { events } => {
+                write!(f, "event budget exhausted after {events} events")
+            }
+            ExecInterrupt::Cancelled { events } => {
+                write!(f, "cancelled after {events} events")
+            }
+        }
+    }
+}
+
 /// Runs a scenario with the configuration derived from its device
 /// profile and scheduling policy.
 ///
@@ -273,6 +345,29 @@ pub fn execute(spec: &ScenarioSpec, seed: u64) -> ScenarioOutcome {
     )
 }
 
+/// Runs a scenario under an [`ExecBudget`]; the profile/policy handling
+/// matches [`execute`].
+///
+/// Returns `Err` if the budget interrupted the run (the partial simulation
+/// is discarded — determinism means a retry under a larger budget
+/// reproduces the prefix exactly, so there is nothing worth salvaging).
+///
+/// # Panics
+///
+/// Panics if the spec fails [`ScenarioSpec::validate`].
+pub fn execute_budgeted(
+    spec: &ScenarioSpec,
+    seed: u64,
+    budget: ExecBudget<'_>,
+) -> Result<ScenarioOutcome, ExecInterrupt> {
+    execute_budgeted_with_config(
+        spec,
+        spec.profile.cluster_config().with_policy(spec.policy),
+        seed,
+        budget,
+    )
+}
+
 /// Runs a scenario against an explicit cluster configuration (ablations
 /// and extension studies mutate device parameters directly; the spec's
 /// `profile` and `policy` fields are ignored here).
@@ -285,6 +380,25 @@ pub fn execute(spec: &ScenarioSpec, seed: u64) -> ScenarioOutcome {
 ///
 /// Panics if the spec fails [`ScenarioSpec::validate`].
 pub fn execute_with_config(spec: &ScenarioSpec, cfg: ClusterConfig, seed: u64) -> ScenarioOutcome {
+    match execute_budgeted_with_config(spec, cfg, seed, ExecBudget::unbounded()) {
+        Ok(out) => out,
+        Err(i) => unreachable!("unbounded budget interrupted: {i}"),
+    }
+}
+
+/// Runs a scenario against an explicit cluster configuration under an
+/// [`ExecBudget`]; see [`execute_with_config`] for the configuration
+/// semantics and [`execute_budgeted`] for the budget semantics.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`ScenarioSpec::validate`].
+pub fn execute_budgeted_with_config(
+    spec: &ScenarioSpec,
+    cfg: ClusterConfig,
+    seed: u64,
+    budget: ExecBudget<'_>,
+) -> Result<ScenarioOutcome, ExecInterrupt> {
     if let Err(msg) = spec.validate() {
         panic!("invalid scenario `{}`: {msg}", spec.name);
     }
@@ -309,18 +423,33 @@ pub fn execute_with_config(spec: &ScenarioSpec, cfg: ClusterConfig, seed: u64) -
     }
     sim.start();
     let end = SimTime::ZERO + spec.warmup + spec.duration;
-    sim.run_until(end);
+    let mut never = || false;
+    let cancelled = budget.cancelled.unwrap_or(&mut never);
+    let outcome = sim.run_until_budgeted(end, budget.max_events, budget.check_every, cancelled);
+    match outcome {
+        RunOutcome::HorizonReached | RunOutcome::QueueDrained => {}
+        RunOutcome::BudgetExhausted => {
+            return Err(ExecInterrupt::EventBudget {
+                events: sim.events_processed(),
+            })
+        }
+        RunOutcome::Cancelled => {
+            return Err(ExecInterrupt::Cancelled {
+                events: sim.events_processed(),
+            })
+        }
+    }
     let reports = spec
         .roles
         .iter()
         .map(|r| (r.node, collect(&sim, r, end)))
         .collect();
-    ScenarioOutcome {
+    Ok(ScenarioOutcome {
         name: spec.name.clone(),
         seed,
         end,
         reports,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -362,6 +491,48 @@ mod tests {
         assert!(a.starts_with("{\"scenario\":\"probe\""), "{a}");
         assert!(a.contains("\"kind\":\"rperf\""), "{a}");
         assert!(a.contains("\"kind\":\"sink\""), "{a}");
+    }
+
+    #[test]
+    fn budgeted_run_matches_unbudgeted_byte_for_byte() {
+        let plain = execute(&probe_spec(), 5).to_json();
+        let budgeted = execute_budgeted(&probe_spec(), 5, ExecBudget::unbounded())
+            .expect("unbounded budget never interrupts")
+            .to_json();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn event_budget_interrupts_long_runs() {
+        let err = execute_budgeted(
+            &probe_spec(),
+            5,
+            ExecBudget::unbounded().with_max_events(1000),
+        )
+        .expect_err("1000 events cannot finish a 550 us scenario");
+        match err {
+            ExecInterrupt::EventBudget { events } => assert!(events <= 1000, "events {events}"),
+            other => panic!("expected EventBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_hook_interrupts_runs() {
+        let mut polls = 0u64;
+        let mut hook = || {
+            polls += 1;
+            polls > 2
+        };
+        let budget = ExecBudget {
+            max_events: u64::MAX,
+            check_every: 64,
+            cancelled: Some(&mut hook),
+        };
+        let err = execute_budgeted(&probe_spec(), 5, budget).expect_err("hook fires");
+        match err {
+            ExecInterrupt::Cancelled { events } => assert!(events <= 128, "events {events}"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

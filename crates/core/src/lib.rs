@@ -42,7 +42,10 @@ mod rperf_app;
 pub mod scenario;
 pub mod spec;
 
-pub use executor::{execute, execute_with_config, RoleReport, ScenarioOutcome};
+pub use executor::{
+    execute, execute_budgeted, execute_budgeted_with_config, execute_with_config, ExecBudget,
+    ExecInterrupt, RoleReport, ScenarioOutcome,
+};
 pub use perftest::{PerftestClient, PerftestConfig, PingPongServer};
 pub use qperf::{QperfClient, QperfConfig, QperfReport};
 pub use rperf_app::{RPerf, RPerfConfig, RPerfReport};

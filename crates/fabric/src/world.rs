@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rperf_host::{Tsc, TscClock};
 use rperf_model::{ClusterConfig, Lid, PacketRef, PortId, QpNum, Transport, VirtualLane};
 use rperf_rnic::RnicAction;
-use rperf_sim::{run, EventQueue, SimDuration, SimTime, StopCondition, World};
+use rperf_sim::{
+    run, run_budgeted, EventQueue, RunOutcome, SimDuration, SimTime, StopCondition, World,
+};
 use rperf_switch::SwitchAction;
 use rperf_verbs::{Cqe, RecvWr, SendWr, VerbsError};
 
@@ -550,6 +552,37 @@ impl Sim {
             self.world.fabric.slab.high_water() as u64,
             Ordering::Relaxed,
         );
+    }
+
+    /// Runs toward the horizon (exclusive) under an event budget and a
+    /// cooperative cancellation hook; see [`rperf_sim::run_budgeted`].
+    ///
+    /// An uninterrupted call is bit-identical to [`Sim::run_until`]; an
+    /// interrupted one leaves the simulation resumable. The global
+    /// events/slab accounting is updated either way, so throughput
+    /// attribution stays correct for cancelled work too.
+    pub fn run_until_budgeted(
+        &mut self,
+        t: SimTime,
+        max_events: u64,
+        check_every: u64,
+        cancelled: &mut dyn FnMut() -> bool,
+    ) -> RunOutcome {
+        let before = self.q.popped();
+        let out = run_budgeted(
+            &mut self.world,
+            &mut self.q,
+            t,
+            max_events,
+            check_every,
+            cancelled,
+        );
+        EVENTS_PROCESSED.fetch_add(self.q.popped() - before, Ordering::Relaxed);
+        SLAB_HIGH_WATER.fetch_max(
+            self.world.fabric.slab.high_water() as u64,
+            Ordering::Relaxed,
+        );
+        out
     }
 
     /// Runs until the event queue drains completely.

@@ -18,12 +18,13 @@
 //! | D6 | no `unsafe`, and every crate root carries `#![forbid(unsafe_code)]` |
 //! | D7 | every `pub fn` in the event-API crate documents its contract |
 //! | D8 | no environment reads (`env::var`) in result-producing paths |
+//! | D9 | blocking sockets in the serving layer carry finite timeouts |
 
 use crate::config::{Config, RuleCfg};
 use crate::lexer::{lex, TokKind, Token};
 
 /// Every rule id the engine implements.
-pub const KNOWN_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8"];
+pub const KNOWN_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9"];
 
 /// The built-in fix hint for `id`.
 pub fn default_hint(id: &str) -> &'static str {
@@ -36,6 +37,7 @@ pub fn default_hint(id: &str) -> &'static str {
         "D6" => "the workspace is 100% safe Rust; add #![forbid(unsafe_code)] to the crate root and rewrite the unsafe block",
         "D7" => "event-API callers rely on documented (time, seq) FIFO ordering; add a doc comment stating the ordering contract",
         "D8" => "environment variables make results depend on the shell; thread configuration through explicit arguments",
+        "D9" => "a blocking socket read with no timeout lets one stalled peer wedge the thread forever; call set_read_timeout(Some(..))/set_write_timeout(Some(..)) right after accept/connect",
         _ => "see DESIGN.md §5",
     }
 }
@@ -266,6 +268,7 @@ pub fn run_rules(file: &SourceFile, config: &Config) -> Vec<Diagnostic> {
             "D6" => d6_unsafe(file, rule, &mut out),
             "D7" => d7_doc_contracts(file, rule, &mut out),
             "D8" => d8_env_reads(file, rule, &mut out),
+            "D9" => d9_socket_timeouts(file, rule, &mut out),
             _ => {}
         }
     }
@@ -603,6 +606,60 @@ fn d8_env_reads(file: &SourceFile, cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// D9: a serving-layer thread doing blocking socket I/O must never wait
+/// forever on a peer. Two syntactic checks:
+///
+/// 1. `set_read_timeout(None)` / `set_write_timeout(None)` explicitly
+///    configures an *infinite* wait — flagged at the call site.
+/// 2. A file that names `TcpStream` but never calls
+///    `set_read_timeout(Some(..))` (nor passes a computed timeout) is
+///    doing bare reads on an unconfigured stream — flagged at the first
+///    `TcpStream` mention. Any non-`None` argument counts as configuring,
+///    so helpers that thread a `Duration` through are accepted.
+fn d9_socket_timeouts(file: &SourceFile, cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    let mut first_stream: Option<Token> = None;
+    let mut configures_read_timeout = false;
+    for s in 0..file.sig.len() {
+        if file.test_at(s) {
+            continue;
+        }
+        let t = &file.tokens[file.sig[s]];
+        let is_setter = t.is_ident("set_read_timeout") || t.is_ident("set_write_timeout");
+        if is_setter && file.at(s + 1).is_some_and(|n| n.is_punct('(')) {
+            if file.at(s + 2).is_some_and(|n| n.is_ident("None")) {
+                out.push(file.diag(
+                    "D9",
+                    t,
+                    format!(
+                        "`{}(None)` configures an infinite socket wait in crate `{}`",
+                        t.text, file.crate_key
+                    ),
+                    cfg,
+                ));
+            } else if t.is_ident("set_read_timeout") {
+                configures_read_timeout = true;
+            }
+        }
+        if t.is_ident("TcpStream") && first_stream.is_none() {
+            first_stream = Some(t.clone());
+        }
+    }
+    if let Some(t) = first_stream {
+        if !configures_read_timeout {
+            out.push(file.diag(
+                "D9",
+                &t,
+                format!(
+                    "`TcpStream` used in crate `{}` without ever setting a finite read \
+                     timeout (`set_read_timeout(Some(..))`)",
+                    file.crate_key
+                ),
+                cfg,
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,6 +763,53 @@ fn private_needs_no_doc() {}
         let diags = run(src, &["D7"]);
         assert_eq!(diags.len(), 1, "{diags:#?}");
         assert!(diags[0].msg.contains("undocumented"));
+    }
+
+    #[test]
+    fn d9_socket_timeout_patterns() {
+        // An explicit infinite wait fires at the call site — and since a
+        // `None` timeout is not a finite one, the file-level check fires
+        // too when no `Some(..)` read timeout exists anywhere.
+        let diags = run(
+            "fn f(s: &TcpStream) { s.set_read_timeout(None).ok(); \
+             s.set_write_timeout(Some(t)).ok(); }",
+            &["D9"],
+        );
+        assert_eq!(diags.len(), 2, "{diags:#?}");
+        assert!(diags[1].msg.contains("set_read_timeout(None)"));
+        assert!(diags[0].msg.contains("finite read timeout"));
+        // With a finite read timeout elsewhere, only the None fires.
+        let diags = run(
+            "fn f(s: &TcpStream) { s.set_read_timeout(Some(t)).ok(); }\n\
+             fn g(s: &TcpStream) { s.set_write_timeout(None).ok(); }",
+            &["D9"],
+        );
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert!(diags[0].msg.contains("set_write_timeout(None)"));
+        // A TcpStream with no finite read timeout anywhere fires once.
+        let diags = run(
+            "fn f(mut s: TcpStream) { s.read_exact(&mut buf).ok(); }",
+            &["D9"],
+        );
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert!(diags[0].msg.contains("finite read timeout"), "{diags:#?}");
+        // Configuring Some(..) — or a computed timeout variable — is clean.
+        assert!(run(
+            "fn f(s: &TcpStream) { s.set_read_timeout(Some(t)).ok(); }",
+            &["D9"],
+        )
+        .is_empty());
+        assert!(run(
+            "fn f(s: &TcpStream, t: Option<Duration>) { s.set_read_timeout(t).ok(); }",
+            &["D9"],
+        )
+        .is_empty());
+        // Test code is exempt, as everywhere.
+        assert!(run(
+            "#[cfg(test)]\nmod tests { fn f(s: &TcpStream) { s.read(&mut b).ok(); } }",
+            &["D9"],
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! D9 bad: blocking socket I/O with no finite timeout — one stalled
+//! peer wedges the handler thread forever.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+/// Explicitly configures an infinite read wait, then blocks on it.
+pub fn serve_forever(mut stream: TcpStream) -> std::io::Result<Vec<u8>> {
+    stream.set_read_timeout(None)?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+/// Never configures any read timeout at all before the blocking read.
+pub fn bare_read(addr: &str) -> std::io::Result<[u8; 4]> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    Ok(header)
+}

@@ -1,0 +1,16 @@
+//! D9 good: every blocking socket gets a finite timeout right after it
+//! is obtained, so a stalled peer costs at most one timeout interval.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Connects with finite read/write timeouts before any blocking call.
+pub fn bounded_read(addr: &str, timeout: Duration) -> std::io::Result<[u8; 4]> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    Ok(header)
+}

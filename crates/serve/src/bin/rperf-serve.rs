@@ -1,0 +1,94 @@
+//! The `rperf-serve` daemon binary.
+//!
+//! ```text
+//! rperf-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!             [--cache N] [--deadline-ms N] [--io-timeout-ms N]
+//! ```
+//!
+//! Binds, prints the listening address, and serves until a client sends a
+//! SHUTDOWN frame (`rperf-cli serve-stats --shutdown`), then drains
+//! gracefully and prints the final stats snapshot to stdout.
+
+#![forbid(unsafe_code)]
+
+use rperf_serve::{ServeConfig, Server};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rperf-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+                     [--cache N] [--deadline-ms N] [--io-timeout-ms N]";
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7117".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                cfg.addr = value(args, i, "--addr")?;
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = value(args, i, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                i += 2;
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value(args, i, "--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+                i += 2;
+            }
+            "--cache" => {
+                cfg.cache_entries = value(args, i, "--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?;
+                i += 2;
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms = value(args, i, "--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                i += 2;
+            }
+            "--io-timeout-ms" => {
+                cfg.io_timeout_ms = value(args, i, "--io-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--io-timeout-ms: {e}"))?;
+                i += 2;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rperf-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("rperf-serve listening on {}", server.addr());
+    let final_stats = server.run_until_shutdown();
+    println!("{final_stats}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,169 @@
+//! The content-addressed result cache (DESIGN.md §8).
+//!
+//! Determinism makes caching *sound*: a scenario outcome is a pure
+//! function of (canonical spec text, seed, code version), so the cache
+//! key is a 128-bit FNV-1a hash over exactly those three inputs and a
+//! hit can be served byte-identical to a cold run. The code-version
+//! component fences cache entries across builds — a behavior change that
+//! alters outcomes also changes the key, so a stale entry can never
+//! shadow a corrected result (entries do not persist across processes,
+//! but the fence keeps the key derivation honest either way).
+//!
+//! The store is a bounded LRU built on two `BTreeMap`s (key → entry and
+//! recency-stamp → key); the workspace bans `HashMap` (lint rule D1), and
+//! O(log n) on a few hundred entries is nowhere near any hot path.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x1000000000000000000013b;
+
+/// 128-bit FNV-1a over `bytes` (the workspace is offline; a tiny
+/// well-known hash beats carrying a crypto dependency, and cache keys
+/// need collision *rarity*, not adversarial resistance — a forged
+/// collision could only ever poison the forger's own cache entry).
+fn fnv1a_128(h: u128, bytes: &[u8]) -> u128 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// Derives the cache key for one submission.
+///
+/// `canonical_spec` must be [`to_text`](rperf::ScenarioSpec::to_text)
+/// output, not raw client bytes: two textual spellings of the same spec
+/// (comments, field order) then share one cache line.
+pub fn cache_key(canonical_spec: &str, seed: u64, code_version: &str) -> u128 {
+    let mut h = fnv1a_128(FNV128_OFFSET, canonical_spec.as_bytes());
+    h = fnv1a_128(h, &seed.to_be_bytes());
+    fnv1a_128(h, code_version.as_bytes())
+}
+
+struct Entry {
+    stamp: u64,
+    bytes: Arc<String>,
+}
+
+/// A bounded LRU mapping cache keys to outcome JSON.
+pub struct ResultCache {
+    cap: usize,
+    tick: u64,
+    by_key: BTreeMap<u128, Entry>,
+    by_stamp: BTreeMap<u64, u128>,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("cap", &self.cap)
+            .field("len", &self.by_key.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `cap` entries (clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        ResultCache {
+            cap: cap.max(1),
+            tick: 0,
+            by_key: BTreeMap::new(),
+            by_stamp: BTreeMap::new(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u128) -> Option<Arc<String>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.by_key.get_mut(&key)?;
+        self.by_stamp.remove(&entry.stamp);
+        entry.stamp = tick;
+        self.by_stamp.insert(tick, key);
+        Some(Arc::clone(&entry.bytes))
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, key: u128, bytes: Arc<String>) {
+        self.tick += 1;
+        if let Some(old) = self.by_key.remove(&key) {
+            self.by_stamp.remove(&old.stamp);
+        } else if self.by_key.len() >= self.cap {
+            if let Some((&oldest, &victim)) = self.by_stamp.iter().next() {
+                self.by_stamp.remove(&oldest);
+                self.by_key.remove(&victim);
+            }
+        }
+        self.by_key.insert(
+            key,
+            Entry {
+                stamp: self.tick,
+                bytes,
+            },
+        );
+        self.by_stamp.insert(self.tick, key);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn key_depends_on_every_component() {
+        let base = cache_key("spec", 1, "v1");
+        assert_ne!(base, cache_key("spec!", 1, "v1"));
+        assert_ne!(base, cache_key("spec", 2, "v1"));
+        assert_ne!(base, cache_key("spec", 1, "v2"));
+        assert_eq!(base, cache_key("spec", 1, "v1"));
+    }
+
+    #[test]
+    fn component_boundaries_do_not_alias() {
+        // Moving bytes between the spec and version components must not
+        // produce the same key (the seed's fixed width separates them).
+        assert_ne!(cache_key("ab", 0, "c"), cache_key("a", 0, "bc"));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, a("one"));
+        c.insert(2, a("two"));
+        assert_eq!(c.get(1).as_deref().map(|s| s.as_str()), Some("one"));
+        c.insert(3, a("three")); // evicts 2, the LRU
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, a("one"));
+        c.insert(1, a("one again"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).as_deref().map(|s| s.as_str()), Some("one again"));
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic fault injection (DESIGN.md §8).
+//!
+//! Chaos testing here is *scripted*, not random: a [`FaultPlan`] names
+//! exactly which admitted jobs panic their worker, and the client-side
+//! injectors each perform one precisely malformed interaction. Every
+//! chaos run is therefore reproducible — the same plan produces the same
+//! fault sequence, so a failure found once can be replayed forever.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A scripted fault schedule for one server instance.
+///
+/// Job sequence numbers are assigned at admission (0-based, monotonic),
+/// so "panic worker on job 2" is deterministic given a deterministic
+/// request order — and harmless noise otherwise: some job's worker dies,
+/// that request gets a typed `WORKER_PANIC`, and a respawn restores the
+/// pool either way.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Admission sequence numbers whose worker panics mid-request.
+    pub panic_on_jobs: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the job with admission number `seq` must panic.
+    pub fn should_panic(&self, seq: u64) -> bool {
+        self.panic_on_jobs.contains(&seq)
+    }
+}
+
+/// Sends raw garbage (wrong magic) and returns the server's reply bytes
+/// (a typed `BAD_FRAME` error frame, read to EOF since the server closes
+/// after an unsynchronizable frame).
+pub fn inject_malformed_frame(addr: &str, io_timeout: Duration) -> std::io::Result<Vec<u8>> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(io_timeout))?;
+    s.set_write_timeout(Some(io_timeout))?;
+    s.write_all(b"JUNKJUNKJUNKJUNK")?;
+    let mut reply = Vec::new();
+    let _ = s.read_to_end(&mut reply);
+    Ok(reply)
+}
+
+/// Sends a frame header that promises `declared` payload bytes, delivers
+/// only a fragment, and half-closes. Returns the bytes the server sent
+/// back before closing (expected: none — a truncated frame is an I/O
+/// error, not a protocol reply).
+pub fn inject_truncated_frame(addr: &str, io_timeout: Duration) -> std::io::Result<Vec<u8>> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(io_timeout))?;
+    s.set_write_timeout(Some(io_timeout))?;
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&crate::protocol::MAGIC);
+    frame.push(crate::protocol::VERSION);
+    frame.push(crate::protocol::req::SUBMIT);
+    frame.extend_from_slice(&100u32.to_be_bytes());
+    frame.extend_from_slice(b"only ten b"); // 10 of the promised 100
+    s.write_all(&frame)?;
+    s.shutdown(std::net::Shutdown::Write)?;
+    let mut reply = Vec::new();
+    let _ = s.read_to_end(&mut reply);
+    Ok(reply)
+}
+
+/// Connects, sends half a header, then stalls for `hold`. Returns `true`
+/// if the server had closed the connection by the time the stall ended —
+/// the defense a read timeout buys against slow-loris clients.
+pub fn inject_stalled_client(addr: &str, hold: Duration) -> std::io::Result<bool> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(hold + Duration::from_millis(500)))?;
+    s.set_write_timeout(Some(Duration::from_millis(2_000)))?;
+    s.write_all(&crate::protocol::MAGIC[..2])?;
+    std::thread::sleep(hold);
+    // After the server's read timeout, the socket is closed: a read sees
+    // EOF (Ok(0)) or a reset error; both count as "closed on us".
+    let mut buf = [0u8; 16];
+    match s.read(&mut buf) {
+        Ok(0) => Ok(true),
+        Ok(_) => Ok(false),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+            ) =>
+        {
+            Ok(true)
+        }
+        Err(_) => Ok(false),
+    }
+}

@@ -1,0 +1,319 @@
+//! The submitting client: one-shot requests with capped exponential
+//! backoff and deterministic jitter (DESIGN.md §8).
+//!
+//! Retry policy: transient failures — connect errors, I/O timeouts,
+//! `BUSY` shedding, `WORKER_PANIC` (the replacement worker will serve the
+//! retry) — back off exponentially from `backoff_base_ms`, doubling per
+//! attempt up to `backoff_cap_ms`, each delay jittered into
+//! `[d/2, d)` by a [`SimRng`] stream seeded from `retry_seed`. Permanent
+//! failures — parse/validation errors, deadline exhaustion, shutdown —
+//! surface immediately: retrying a deterministic rejection cannot change
+//! the answer. The jitter being `SimRng`-derived keeps even the *client's
+//! timing* reproducible for a fixed seed, which the chaos harness leans
+//! on.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rperf_sim::SimRng;
+
+use crate::protocol::{
+    decode_busy, decode_error, encode_submit, read_frame, req, resp, write_frame, ErrorCode, Frame,
+    FrameError, DEFAULT_MAX_PAYLOAD,
+};
+
+/// Client tunables; `Default` matches the server defaults.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Socket read/write timeout, ms. The read timeout doubles as the
+    /// client-side deadline on waiting for a response frame.
+    pub io_timeout_ms: u64,
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// First backoff delay, ms.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, ms.
+    pub backoff_cap_ms: u64,
+    /// Seed for the deterministic retry jitter.
+    pub retry_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addr: "127.0.0.1:7117".to_string(),
+            io_timeout_ms: 40_000,
+            attempts: 5,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 2_000,
+            retry_seed: 0,
+        }
+    }
+}
+
+/// Why a submission (after all retries) failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure on the final attempt.
+    Io(String),
+    /// The server answered, but not with a frame this client understands.
+    Protocol(String),
+    /// A typed server error (terminal ones surface immediately).
+    Server {
+        /// The typed code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// Every attempt was shed or failed transiently.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Description of the final attempt's failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(f, "{code}: {message}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts (last: {last})")
+            }
+        }
+    }
+}
+
+/// A successful submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The deterministic outcome JSON, byte-identical for identical
+    /// (spec, seed) whether cold or cached.
+    pub json: String,
+    /// True when the server answered from its result cache.
+    pub cached: bool,
+    /// Attempts consumed (1 = first try).
+    pub attempts: u32,
+}
+
+/// What one attempt produced, before retry classification.
+enum Attempt {
+    Done { json: String, cached: bool },
+    Busy { retry_after_ms: u32 },
+    ServerError { code: ErrorCode, message: String },
+    IoFailed(String),
+    ProtocolFailed(String),
+}
+
+/// A handle for submitting scenarios to one server.
+#[derive(Debug, Clone)]
+pub struct Client {
+    cfg: ClientConfig,
+}
+
+impl Client {
+    /// A client for `cfg.addr`.
+    pub fn new(cfg: ClientConfig) -> Self {
+        Client { cfg }
+    }
+
+    /// Submits `spec_text` with `seed`, retrying transient failures with
+    /// capped exponential backoff + deterministic jitter.
+    pub fn submit(&self, spec_text: &str, seed: u64) -> Result<SubmitOutcome, ClientError> {
+        let mut rng = SimRng::new(self.cfg.retry_seed);
+        let attempts = self.cfg.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            match self.submit_once(spec_text, seed) {
+                Attempt::Done { json, cached } => {
+                    return Ok(SubmitOutcome {
+                        json,
+                        cached,
+                        attempts: attempt + 1,
+                    })
+                }
+                Attempt::Busy { retry_after_ms } => {
+                    last = format!("SERVER_BUSY (retry after {retry_after_ms} ms)");
+                    if attempt + 1 < attempts {
+                        let d = self
+                            .backoff_ms(attempt, &mut rng)
+                            .max(retry_after_ms as u64);
+                        std::thread::sleep(Duration::from_millis(d));
+                    }
+                }
+                Attempt::ServerError { code, message } => {
+                    if code == ErrorCode::WorkerPanic {
+                        // Transient by design: the pool respawned; retry.
+                        last = format!("{code}: {message}");
+                        if attempt + 1 < attempts {
+                            let d = self.backoff_ms(attempt, &mut rng);
+                            std::thread::sleep(Duration::from_millis(d));
+                        }
+                    } else {
+                        return Err(ClientError::Server { code, message });
+                    }
+                }
+                Attempt::IoFailed(e) => {
+                    last = format!("i/o: {e}");
+                    if attempt + 1 < attempts {
+                        let d = self.backoff_ms(attempt, &mut rng);
+                        std::thread::sleep(Duration::from_millis(d));
+                    }
+                }
+                Attempt::ProtocolFailed(e) => return Err(ClientError::Protocol(e)),
+            }
+        }
+        Err(ClientError::Exhausted { attempts, last })
+    }
+
+    /// Fetches the server's stats JSON.
+    pub fn stats(&self) -> Result<String, ClientError> {
+        let mut stream = self.connect().map_err(|e| ClientError::Io(e.to_string()))?;
+        write_frame(&mut stream, req::STATS, b"").map_err(|e| ClientError::Io(e.to_string()))?;
+        let frame = self.read_response(&mut stream)?;
+        match frame.kind {
+            resp::STATS_OK => String::from_utf8(frame.payload)
+                .map_err(|e| ClientError::Protocol(format!("stats not UTF-8: {e}"))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response kind {other:#04x} to STATS"
+            ))),
+        }
+    }
+
+    /// Asks the server to begin a graceful drain.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        let mut stream = self.connect().map_err(|e| ClientError::Io(e.to_string()))?;
+        write_frame(&mut stream, req::SHUTDOWN, b"").map_err(|e| ClientError::Io(e.to_string()))?;
+        let frame = self.read_response(&mut stream)?;
+        match frame.kind {
+            resp::OK => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response kind {other:#04x} to SHUTDOWN"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        let mut stream = self.connect().map_err(|e| ClientError::Io(e.to_string()))?;
+        write_frame(&mut stream, req::PING, b"").map_err(|e| ClientError::Io(e.to_string()))?;
+        let frame = self.read_response(&mut stream)?;
+        match frame.kind {
+            resp::PONG => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response kind {other:#04x} to PING"
+            ))),
+        }
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(&self.cfg.addr)?;
+        let t = Duration::from_millis(self.cfg.io_timeout_ms.max(1));
+        stream.set_read_timeout(Some(t))?;
+        stream.set_write_timeout(Some(t))?;
+        Ok(stream)
+    }
+
+    fn read_response(&self, stream: &mut TcpStream) -> Result<Frame, ClientError> {
+        match read_frame(stream, DEFAULT_MAX_PAYLOAD) {
+            Ok(f) => Ok(f),
+            Err(FrameError::Io(e)) => Err(ClientError::Io(e.to_string())),
+            Err(e) => Err(ClientError::Protocol(e.to_string())),
+        }
+    }
+
+    fn submit_once(&self, spec_text: &str, seed: u64) -> Attempt {
+        let mut stream = match self.connect() {
+            Ok(s) => s,
+            Err(e) => return Attempt::IoFailed(e.to_string()),
+        };
+        let payload = encode_submit(seed, spec_text);
+        if let Err(e) = write_frame(&mut stream, req::SUBMIT, &payload) {
+            return Attempt::IoFailed(e.to_string());
+        }
+        let frame = match read_frame(&mut stream, DEFAULT_MAX_PAYLOAD) {
+            Ok(f) => f,
+            Err(FrameError::Io(e)) => return Attempt::IoFailed(e.to_string()),
+            Err(e) => return Attempt::ProtocolFailed(e.to_string()),
+        };
+        match frame.kind {
+            resp::RESULT | resp::RESULT_CACHED => match String::from_utf8(frame.payload) {
+                Ok(json) => Attempt::Done {
+                    json,
+                    cached: frame.kind == resp::RESULT_CACHED,
+                },
+                Err(e) => Attempt::ProtocolFailed(format!("result not UTF-8: {e}")),
+            },
+            resp::BUSY => Attempt::Busy {
+                retry_after_ms: decode_busy(&frame.payload),
+            },
+            resp::ERROR => {
+                let (code, message) = decode_error(&frame.payload);
+                Attempt::ServerError { code, message }
+            }
+            other => Attempt::ProtocolFailed(format!("unexpected response kind {other:#04x}")),
+        }
+    }
+
+    /// The delay before retry number `attempt + 1`: exponential from the
+    /// base, capped, jittered into `[d/2, d)` deterministically.
+    fn backoff_ms(&self, attempt: u32, rng: &mut SimRng) -> u64 {
+        let base = self.cfg.backoff_base_ms.max(1);
+        let cap = self.cfg.backoff_cap_ms.max(base);
+        let d = base.saturating_mul(1u64 << attempt.min(20)).min(cap);
+        let half = (d / 2).max(1);
+        half + rng.below(half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(attempts: u32) -> Client {
+        Client::new(ClientConfig {
+            attempts,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 1_000,
+            retry_seed: 7,
+            ..ClientConfig::default()
+        })
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_with_jitter() {
+        let c = client(8);
+        let mut rng = SimRng::new(7);
+        let mut prev_max = 0u64;
+        for attempt in 0..8 {
+            let d = c.backoff_ms(attempt, &mut rng);
+            let nominal = (100u64 << attempt).min(1_000);
+            assert!(
+                d >= nominal / 2 && d < nominal.max(2),
+                "attempt {attempt}: delay {d} outside [{}, {})",
+                nominal / 2,
+                nominal
+            );
+            prev_max = prev_max.max(d);
+        }
+        assert!(prev_max < 1_000, "cap violated: {prev_max}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed() {
+        let c = client(5);
+        let series = |seed: u64| {
+            let mut rng = SimRng::new(seed);
+            (0..5)
+                .map(|a| c.backoff_ms(a, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(series(7), series(7));
+        assert_ne!(series(7), series(8));
+    }
+}

@@ -1,0 +1,40 @@
+//! `rperf-serve`: a fault-tolerant scenario-serving daemon.
+//!
+//! The ROADMAP's north star is a production-scale service answering
+//! scenario queries for many users; this crate is its front door. It
+//! accepts canonical [`ScenarioSpec`](rperf::ScenarioSpec) text over a
+//! hand-rolled length-prefixed TCP protocol ([`protocol`]), runs
+//! simulations on a warm, panic-isolated worker pool
+//! ([`rperf_runner::WorkerPool`]) and returns the deterministic outcome
+//! JSON — byte-identical for identical (spec, seed), which makes the
+//! content-addressed result cache ([`cache`]) sound.
+//!
+//! Robustness is the headline design axis (DESIGN.md §8):
+//!
+//! * per-request **deadlines** enforced end-to-end (socket timeouts +
+//!   wall-clock/event budgets via `rperf::execute_budgeted`'s
+//!   cooperative cancellation hook),
+//! * **bounded admission** with typed `SERVER_BUSY` load shedding and a
+//!   retry-after hint,
+//! * **worker panic isolation** — catch, typed `WORKER_PANIC` reply,
+//!   respawn,
+//! * client-side **retry** with capped exponential backoff and
+//!   deterministic jitter ([`client`]),
+//! * **graceful drain** on shutdown, flushing a final stats snapshot,
+//! * a scripted, reproducible **chaos harness** ([`chaos`]).
+//!
+//! Everything is std-only: no async runtime, no serialization crates —
+//! one thread per connection, a `sync_channel` admission queue, and the
+//! workspace's deterministic JSON writer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod chaos;
+pub mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, ClientConfig, ClientError, SubmitOutcome};
+pub use server::{ServeConfig, Server, CODE_VERSION};

@@ -1,0 +1,391 @@
+//! The length-prefixed wire protocol (DESIGN.md §8).
+//!
+//! Every frame, in both directions, is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  = b"RPSV"
+//! 4       1     version = 1
+//! 5       1     kind (request or response discriminant)
+//! 6       4     payload length, u32 big-endian (capped by the reader)
+//! 10      len   payload
+//! ```
+//!
+//! The framing layer is deliberately dumb: it knows magic, version and a
+//! hard payload cap, nothing else. Anything that fails here —
+//! wrong magic, unknown version, an oversized length, a truncated
+//! payload — is a [`FrameError`]; the server answers with a typed error
+//! frame where the stream is still synchronizable (bad kind) and closes
+//! the connection where it is not (bad magic: the peer is not speaking
+//! this protocol at all).
+//!
+//! Payload grammars (all integers big-endian):
+//!
+//! | kind | payload |
+//! |------|---------|
+//! | [`req::SUBMIT`] | `seed: u64` ++ canonical scenario-spec text (UTF-8) |
+//! | [`req::STATS`], [`req::PING`], [`req::SHUTDOWN`] | empty |
+//! | [`resp::RESULT`], [`resp::RESULT_CACHED`] | deterministic outcome JSON (UTF-8) |
+//! | [`resp::ERROR`] | `code: u16` ++ message (UTF-8) |
+//! | [`resp::BUSY`] | `retry_after_ms: u32` |
+//! | [`resp::STATS_OK`] | stats JSON (UTF-8) |
+//! | [`resp::PONG`], [`resp::OK`] | empty |
+
+use std::io::{Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"RPSV";
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Frame header length in bytes (magic + version + kind + length).
+pub const HEADER_LEN: usize = 10;
+
+/// Default cap on payload length; a spec text is a few KiB, outcome JSON
+/// tens of KiB, so anything near this cap is garbage or abuse.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 256 * 1024;
+
+/// Request frame kinds (client → server).
+pub mod req {
+    /// Run a scenario: `seed: u64` ++ spec text.
+    pub const SUBMIT: u8 = 0x01;
+    /// Fetch the stats JSON.
+    pub const STATS: u8 = 0x02;
+    /// Begin a graceful drain.
+    pub const SHUTDOWN: u8 = 0x03;
+    /// Liveness probe.
+    pub const PING: u8 = 0x04;
+}
+
+/// Response frame kinds (server → client).
+pub mod resp {
+    /// A cold (freshly simulated) outcome JSON.
+    pub const RESULT: u8 = 0x81;
+    /// The same outcome JSON, served from the result cache. The payload
+    /// bytes are identical to the cold [`RESULT`]; only the kind differs.
+    pub const RESULT_CACHED: u8 = 0x82;
+    /// A typed error: `code: u16` ++ message.
+    pub const ERROR: u8 = 0x90;
+    /// Load shed: `retry_after_ms: u32`.
+    pub const BUSY: u8 = 0x91;
+    /// Stats JSON.
+    pub const STATS_OK: u8 = 0x92;
+    /// Reply to [`super::req::PING`].
+    pub const PONG: u8 = 0x93;
+    /// Bare acknowledgement (shutdown accepted).
+    pub const OK: u8 = 0x94;
+}
+
+/// Typed error codes carried by [`resp::ERROR`] payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame failed structural validation (magic/length/truncation).
+    BadFrame = 1,
+    /// The frame's version byte is not [`VERSION`].
+    BadVersion = 2,
+    /// The frame kind is not a known request.
+    BadKind = 3,
+    /// The submitted spec text failed to parse (message has `line N:`).
+    ParseError = 4,
+    /// The spec parsed but failed semantic validation.
+    InvalidSpec = 5,
+    /// The request missed its deadline (queue wait + run exceeded it).
+    DeadlineExceeded = 6,
+    /// The worker running the request panicked; it has been replaced.
+    WorkerPanic = 7,
+    /// The server is draining and no longer admits work.
+    ShuttingDown = 8,
+    /// Any other server-side failure.
+    Internal = 9,
+}
+
+impl ErrorCode {
+    /// The wire name, stable across versions (what `submit --json` prints).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "BAD_FRAME",
+            ErrorCode::BadVersion => "BAD_VERSION",
+            ErrorCode::BadKind => "BAD_KIND",
+            ErrorCode::ParseError => "PARSE_ERROR",
+            ErrorCode::InvalidSpec => "INVALID_SPEC",
+            ErrorCode::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            ErrorCode::WorkerPanic => "WORKER_PANIC",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::Internal => "INTERNAL",
+        }
+    }
+
+    /// Decodes a wire code (unknown codes map to [`ErrorCode::Internal`]).
+    pub fn from_u16(raw: u16) -> ErrorCode {
+        match raw {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadVersion,
+            3 => ErrorCode::BadKind,
+            4 => ErrorCode::ParseError,
+            5 => ErrorCode::InvalidSpec,
+            6 => ErrorCode::DeadlineExceeded,
+            7 => ErrorCode::WorkerPanic,
+            8 => ErrorCode::ShuttingDown,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One decoded frame: a kind byte and its raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The kind discriminant (see [`req`] / [`resp`]).
+    pub kind: u8,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (includes timeouts and EOF).
+    Io(std::io::Error),
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte did not match [`VERSION`].
+    BadVersion(u8),
+    /// The declared payload length exceeded the reader's cap.
+    Oversized {
+        /// Length the header declared.
+        declared: u32,
+        /// The reader's cap.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "payload length {declared} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// The typed error code a server reply should carry for this failure.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            FrameError::Io(_) => ErrorCode::BadFrame,
+            FrameError::BadMagic(_) => ErrorCode::BadFrame,
+            FrameError::BadVersion(_) => ErrorCode::BadVersion,
+            FrameError::Oversized { .. } => ErrorCode::BadFrame,
+        }
+    }
+}
+
+/// Writes one frame. The caller is responsible for having configured a
+/// write timeout on the stream (lint rule D9 checks this in this crate).
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(kind);
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing `max_payload`.
+///
+/// A short read anywhere (header or payload) surfaces as
+/// [`FrameError::Io`]; the caller treats the stream as dead. The length
+/// cap is checked *before* allocating, so a hostile header cannot balloon
+/// memory.
+pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic: [u8; 4] = [header[0], header[1], header[2], header[3]];
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    let kind = header[5];
+    let len = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
+    if len > max_payload {
+        return Err(FrameError::Oversized {
+            declared: len,
+            max: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Frame { kind, payload })
+}
+
+/// Encodes a SUBMIT payload: `seed` ++ spec text.
+pub fn encode_submit(seed: u64, spec_text: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + spec_text.len());
+    p.extend_from_slice(&seed.to_be_bytes());
+    p.extend_from_slice(spec_text.as_bytes());
+    p
+}
+
+/// Decodes a SUBMIT payload into `(seed, spec_text)`.
+pub fn decode_submit(payload: &[u8]) -> Result<(u64, String), String> {
+    if payload.len() < 8 {
+        return Err(format!(
+            "submit payload too short ({} bytes)",
+            payload.len()
+        ));
+    }
+    let seed = u64::from_be_bytes([
+        payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
+        payload[7],
+    ]);
+    let text = std::str::from_utf8(&payload[8..]).map_err(|e| format!("spec not UTF-8: {e}"))?;
+    Ok((seed, text.to_string()))
+}
+
+/// Encodes an ERROR payload: `code` ++ message.
+pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + message.len());
+    p.extend_from_slice(&(code as u16).to_be_bytes());
+    p.extend_from_slice(message.as_bytes());
+    p
+}
+
+/// Decodes an ERROR payload into `(code, message)`.
+pub fn decode_error(payload: &[u8]) -> (ErrorCode, String) {
+    if payload.len() < 2 {
+        return (ErrorCode::Internal, "malformed error payload".to_string());
+    }
+    let code = ErrorCode::from_u16(u16::from_be_bytes([payload[0], payload[1]]));
+    let msg = String::from_utf8_lossy(&payload[2..]).into_owned();
+    (code, msg)
+}
+
+/// Encodes a BUSY payload.
+pub fn encode_busy(retry_after_ms: u32) -> Vec<u8> {
+    retry_after_ms.to_be_bytes().to_vec()
+}
+
+/// Decodes a BUSY payload (malformed payloads read as 0 ms).
+pub fn decode_busy(payload: &[u8]) -> u32 {
+    match payload {
+        [a, b, c, d] => u32::from_be_bytes([*a, *b, *c, *d]),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, req::SUBMIT, b"hello").expect("write");
+        let mut r = buf.as_slice();
+        let f = read_frame(&mut r, DEFAULT_MAX_PAYLOAD).expect("read");
+        assert_eq!(f.kind, req::SUBMIT);
+        assert_eq!(f.payload, b"hello");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, req::PING, b"").expect("write");
+        let mut garbled = buf.clone();
+        garbled[0] = b'X';
+        match read_frame(&mut garbled.as_slice(), 1024) {
+            Err(FrameError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+        let mut wrong_ver = buf.clone();
+        wrong_ver[4] = 9;
+        match read_frame(&mut wrong_ver.as_slice(), 1024) {
+            Err(FrameError::BadVersion(9)) => {}
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(req::SUBMIT);
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        match read_frame(&mut buf.as_slice(), 1024) {
+            Err(FrameError::Oversized { declared, max }) => {
+                assert_eq!(declared, u32::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, req::SUBMIT, b"full payload").expect("write");
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN + 3] {
+            match read_frame(&mut &buf[..cut], 1024) {
+                Err(FrameError::Io(_)) => {}
+                other => panic!("cut {cut}: expected Io, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn submit_and_error_payloads_round_trip() {
+        let p = encode_submit(0xDEAD_BEEF, "name = \"x\"");
+        let (seed, text) = decode_submit(&p).expect("decode");
+        assert_eq!(seed, 0xDEAD_BEEF);
+        assert_eq!(text, "name = \"x\"");
+        assert!(decode_submit(&p[..4]).is_err());
+
+        let e = encode_error(ErrorCode::DeadlineExceeded, "too slow");
+        let (code, msg) = decode_error(&e);
+        assert_eq!(code, ErrorCode::DeadlineExceeded);
+        assert_eq!(msg, "too slow");
+
+        assert_eq!(decode_busy(&encode_busy(250)), 250);
+        assert_eq!(decode_busy(b"xx"), 0);
+    }
+
+    #[test]
+    fn error_codes_round_trip_u16() {
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::BadVersion,
+            ErrorCode::BadKind,
+            ErrorCode::ParseError,
+            ErrorCode::InvalidSpec,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::WorkerPanic,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), code);
+        }
+        assert_eq!(ErrorCode::from_u16(999), ErrorCode::Internal);
+    }
+}

@@ -1,0 +1,165 @@
+//! Wire-protocol property tests (ISSUE 6, satellite 3): arbitrary
+//! truncations, oversized length declarations, wrong magic, wrong
+//! version, and random bit flips of otherwise-valid frames must all
+//! resolve to a typed [`FrameError`] or a clean frame — [`read_frame`]
+//! never panics, and a live server never answers garbage with garbage.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rperf_serve::protocol::{
+    decode_error, encode_submit, read_frame, req, resp, write_frame, FrameError, HEADER_LEN, MAGIC,
+    VERSION,
+};
+use rperf_serve::{ServeConfig, Server};
+
+/// Serializes a valid SUBMIT frame for mutation.
+fn valid_frame(seed: u64, text: &str) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, req::SUBMIT, &encode_submit(seed, text))
+        .expect("Vec<u8> writes are infallible");
+    buf
+}
+
+/// Feeds `bytes` to the decoder and asserts the outcome is typed: either
+/// a parsed frame or a specific [`FrameError`] — never a panic (the
+/// harness would catch one as a test failure).
+fn decode_is_typed(bytes: &[u8], max_payload: u32) -> Result<(), TestCaseError> {
+    match read_frame(&mut &bytes[..], max_payload) {
+        Ok(frame) => prop_assert!(frame.payload.len() as u64 <= max_payload as u64),
+        Err(FrameError::BadMagic(_))
+        | Err(FrameError::BadVersion(_))
+        | Err(FrameError::Oversized { .. })
+        | Err(FrameError::Io(_)) => {}
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random byte soup: decode never panics, always typed.
+    #[test]
+    fn random_bytes_decode_typed(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        decode_is_typed(&bytes, 4096)?;
+    }
+
+    /// Truncations of a valid frame at every length: the decoder reports
+    /// an I/O error (unexpected EOF) for every strict prefix and parses
+    /// the full frame exactly.
+    #[test]
+    fn truncated_valid_frames_decode_typed(seed in any::<u64>(), cut in 0usize..64) {
+        let frame = valid_frame(seed, "mode = \"x\"");
+        let cut = cut.min(frame.len());
+        decode_is_typed(&frame[..cut], 4096)?;
+        if cut < frame.len() {
+            prop_assert!(matches!(
+                read_frame(&mut &frame[..cut], 4096),
+                Err(FrameError::Io(_))
+            ));
+        }
+    }
+
+    /// A single flipped bit anywhere in a valid frame stays typed: magic
+    /// and version corruption yield their dedicated errors, header-length
+    /// corruption yields Oversized or Io, payload corruption still frames.
+    #[test]
+    fn bit_flipped_frames_decode_typed(
+        seed in any::<u64>(),
+        pos in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        let mut frame = valid_frame(seed, "mode = \"x\"");
+        let pos = pos % frame.len();
+        frame[pos] ^= 1 << bit;
+        decode_is_typed(&frame, 4096)?;
+    }
+
+    /// Declared lengths beyond the cap are rejected *before* any payload
+    /// allocation, whatever the declared size says.
+    #[test]
+    fn oversized_declarations_are_rejected(extra in 1u32..u32::MAX - 4096) {
+        let max = 4096u32;
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.push(VERSION);
+        frame.push(req::SUBMIT);
+        frame.extend_from_slice(&(max + extra).to_be_bytes());
+        prop_assert!(matches!(
+            read_frame(&mut &frame[..], max),
+            Err(FrameError::Oversized { declared, max: m })
+                if declared == max + extra && m == max
+        ));
+    }
+}
+
+/// Live-server fuzz: each mutated frame goes to a real listener, which
+/// must either answer with a *well-formed typed error frame* or close the
+/// connection — never hang (bounded by the socket timeout) and never
+/// reply with bytes that fail to parse as a frame.
+#[test]
+fn live_server_answers_mutations_typed_or_closes() {
+    let server = Server::start(ServeConfig {
+        io_timeout_ms: 500,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    let base = valid_frame(3, "mode = \"x\"");
+    let mut cases: Vec<Vec<u8>> = Vec::new();
+    // Wrong magic, wrong version, unknown kind, oversized declaration.
+    for (pos, val) in [(0usize, b'X'), (4, 99u8), (5, 0x7f)] {
+        let mut f = base.clone();
+        f[pos] = val;
+        cases.push(f);
+    }
+    let mut oversized = base.clone();
+    oversized[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&u32::MAX.to_be_bytes());
+    cases.push(oversized);
+    // Truncations at a few depths, and pure noise.
+    for cut in [1usize, HEADER_LEN - 1, HEADER_LEN + 3] {
+        cases.push(base[..cut].to_vec());
+    }
+    cases.push(b"not a frame at all".to_vec());
+
+    for (i, bytes) in cases.iter().enumerate() {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        s.set_write_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        s.write_all(bytes).expect("send mutation");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut reply = Vec::new();
+        if let Err(e) = s.read_to_end(&mut reply) {
+            // A server that closes with unread bytes in its receive buffer
+            // sends RST; the reset *is* the clean close. Anything else
+            // (notably a timeout = hang) stays fatal.
+            assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+                ),
+                "case {i}: unexpected transport failure: {e}"
+            );
+            continue;
+        }
+        if !reply.is_empty() {
+            let frame = read_frame(&mut &reply[..], 4096).unwrap_or_else(|e| {
+                panic!("case {i}: server reply is not a well-formed frame: {e}")
+            });
+            assert_eq!(
+                frame.kind,
+                resp::ERROR,
+                "case {i}: reply not typed as an error"
+            );
+            let (_code, msg) = decode_error(&frame.payload);
+            assert!(!msg.is_empty(), "case {i}: error frame carries no message");
+        }
+    }
+
+    let _ = server.shutdown();
+}

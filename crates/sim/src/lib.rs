@@ -40,5 +40,5 @@ mod time;
 
 pub use event::EventQueue;
 pub use rng::SimRng;
-pub use run::{run, RunOutcome, StopCondition, World};
+pub use run::{run, run_budgeted, RunOutcome, StopCondition, World};
 pub use time::{SimDuration, SimTime};

@@ -1,4 +1,4 @@
-//! A tiny deterministic JSON writer.
+//! A tiny deterministic JSON writer — and the matching reader.
 //!
 //! The figure artifacts (`*.json` next to EXPERIMENTS.md, the bench
 //! report) need a serializer whose byte output is a pure function of the
@@ -6,6 +6,13 @@
 //! byte-for-byte. `serde`/`serde_json` are unavailable in the offline
 //! build environment (DESIGN.md §6), and this writer is all the suite
 //! needs: objects, arrays, strings, and numbers.
+//!
+//! [`parse`] is the inverse: a recursive-descent reader for the same
+//! dialect, used by the perf-regression gate (`report --gate`) to compare
+//! a fresh bench run against the committed baseline, and by the serving
+//! layer's tests to assert on stats snapshots. Objects keep their fields
+//! in document order in a `Vec` — no hash maps (determinism lint D1), no
+//! reordering.
 
 use std::fmt::Write as _;
 
@@ -86,6 +93,256 @@ pub fn object<'a, I: IntoIterator<Item = (&'a str, String)>>(fields: I) -> Strin
     out
 }
 
+/// A parsed JSON value.
+///
+/// Object fields keep document order (`Vec` of pairs, not a map): the
+/// writer's key order is part of the deterministic artifact format, and
+/// the reader preserves it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; artifact integers fit exactly
+    /// up to 2^53, far beyond any counter the suite emits).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object (first match); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9.007199254740992e15 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in document order, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected). Errors carry a byte offset and a short message.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("byte {pos}: trailing characters after document"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    match bytes.get(*pos) {
+        None => Err(format!("byte {pos}: unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("byte {pos}: unexpected character {:?}", *c as char)),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("byte {pos}: expected `{word}`"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    token
+        .parse::<f64>()
+        .map(Value::Num)
+        .map_err(|e| format!("byte {start}: bad number `{token}`: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(format!("byte {pos}: unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| format!("byte {pos}: truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| format!("byte {pos}: non-ASCII \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("byte {pos}: bad \\u escape `{hex}`"))?;
+                        // Artifacts only escape control characters (the
+                        // writer above); surrogate pairs are out of scope.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("byte {pos}: \\u{hex} is not a char"))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => {
+                        return Err(format!("byte {pos}: bad escape {other:?}"));
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so the
+                // encoding is valid by construction).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|e| format!("byte {pos}: invalid UTF-8: {e}"))?;
+                let c = rest.chars().next().expect("non-empty by match arm");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("byte {pos}: expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("byte {pos}: expected string key in object"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("byte {pos}: expected `:` after object key"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            _ => return Err(format!("byte {pos}: expected `,` or `}}` in object")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +372,67 @@ mod tests {
     fn containers_compose() {
         let obj = object([("id", string("fig4")), ("xs", array([num(1.0), num(2.5)]))]);
         assert_eq!(obj, r#"{"id":"fig4","xs":[1.0,2.5]}"#);
+    }
+
+    #[test]
+    fn parser_roundtrips_writer_output() {
+        let doc = object([
+            ("id", string("fig4")),
+            ("count", uint(42)),
+            ("mean", num(1.5)),
+            ("tags", array([string("a\"b"), string("c\nd")])),
+            ("nested", object([("ok", "true".to_string())])),
+        ]);
+        let v = parse(&doc).expect("writer output parses");
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("fig4"));
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("mean").and_then(Value::as_f64), Some(1.5));
+        let tags = v.get("tags").and_then(Value::as_array).unwrap();
+        assert_eq!(tags[0].as_str(), Some("a\"b"));
+        assert_eq!(tags[1].as_str(), Some("c\nd"));
+        assert_eq!(
+            v.get("nested").and_then(|n| n.get("ok")),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn parser_preserves_object_field_order() {
+        let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,2",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            "\"unterminated",
+            "1 2",
+            "nul",
+            r#"{"a":1} trailing"#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_null() {
+        let v = parse(r#"["A\t", null, -2.5e3, true, false]"#).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_str(), Some("A\t"));
+        assert_eq!(items[1], Value::Null);
+        assert_eq!(items[2].as_f64(), Some(-2500.0));
+        assert_eq!(items[3], Value::Bool(true));
+        assert_eq!(items[4], Value::Bool(false));
     }
 }
