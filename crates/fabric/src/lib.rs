@@ -29,6 +29,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "sim-prof")]
+pub mod prof;
 mod topology;
 mod trace;
 mod world;

@@ -20,21 +20,27 @@ use crate::trace::{TraceEvent, Tracer};
 /// Packet events carry [`PacketRef`] handles into the fabric's
 /// [`rperf_model::PacketSlab`]; the packet body is allocated once at
 /// injection and never copied per hop.
+///
+/// Node and switch indices are stored as `u32` rather than `usize`: the
+/// enum sits inside every timer-wheel entry, and the narrower fields keep
+/// the hot packet/wake variants to a single cache line's worth of entry
+/// during cascade copies. (A fabric with 2³² nodes is far beyond any
+/// scenario in the paper.)
 #[derive(Debug, Clone)]
 pub enum FabricEvent {
     /// An RNIC's self-scheduled wake-up.
-    RnicWake(usize),
+    RnicWake(u32),
     /// A packet's last bit reaches an RNIC.
     RnicPacket {
         /// Destination node.
-        node: usize,
+        node: u32,
         /// The packet.
         packet: PacketRef,
     },
     /// Flow-control credits reach an RNIC.
     RnicCredit {
         /// The node.
-        node: usize,
+        node: u32,
         /// Virtual lane.
         vl: VirtualLane,
         /// Returned bytes.
@@ -43,7 +49,7 @@ pub enum FabricEvent {
     /// A packet's first bit reaches a switch ingress (cut-through).
     SwitchPacket {
         /// The switch.
-        switch: usize,
+        switch: u32,
         /// Ingress port.
         ingress: PortId,
         /// The packet.
@@ -52,14 +58,14 @@ pub enum FabricEvent {
     /// A switch egress wake-up.
     SwitchWake {
         /// The switch.
-        switch: usize,
+        switch: u32,
         /// Egress port to re-arbitrate.
         egress: PortId,
     },
     /// Credits return to a switch egress from its downstream peer.
     SwitchCredit {
         /// The switch.
-        switch: usize,
+        switch: u32,
         /// The egress port the credits apply to.
         egress: PortId,
         /// Virtual lane.
@@ -70,14 +76,14 @@ pub enum FabricEvent {
     /// A completion becomes visible to the application on `node`.
     AppCqe {
         /// The node.
-        node: usize,
+        node: u32,
         /// The completion.
         cqe: Cqe,
     },
     /// An application timer fires.
     AppTimer {
         /// The node whose app set the timer.
-        node: usize,
+        node: u32,
         /// Opaque token chosen by the app.
         token: u64,
     },
@@ -105,6 +111,9 @@ pub struct Ctx<'a> {
     node: usize,
     fabric: &'a mut Fabric,
     q: &'a mut EventQueue<FabricEvent>,
+    /// Scratch buffer for device actions, reused across posts so the
+    /// verbs hot path performs no per-call allocation.
+    out: &'a mut Vec<RnicAction>,
 }
 
 impl std::fmt::Debug for Ctx<'_> {
@@ -159,8 +168,8 @@ impl<'a> Ctx<'a> {
     /// Propagates verbs validation errors.
     pub fn post_send(&mut self, qp: QpNum, wr: SendWr) -> Result<(), VerbsError> {
         let fabric = &mut *self.fabric;
-        let actions = fabric.rnics[self.node].post_send(self.now, qp, wr, &mut fabric.slab)?;
-        apply_rnic_actions(fabric, self.q, self.node, self.now, actions);
+        fabric.rnics[self.node].post_send(self.now, qp, wr, &mut fabric.slab, self.out)?;
+        apply_rnic_actions(fabric, self.q, self.node, self.now, self.out);
         Ok(())
     }
 
@@ -171,9 +180,8 @@ impl<'a> Ctx<'a> {
     /// If any work request fails validation, nothing is enqueued.
     pub fn post_send_batch(&mut self, qp: QpNum, wrs: Vec<SendWr>) -> Result<(), VerbsError> {
         let fabric = &mut *self.fabric;
-        let actions =
-            fabric.rnics[self.node].post_send_batch(self.now, qp, wrs, &mut fabric.slab)?;
-        apply_rnic_actions(fabric, self.q, self.node, self.now, actions);
+        fabric.rnics[self.node].post_send_batch(self.now, qp, wrs, &mut fabric.slab, self.out)?;
+        apply_rnic_actions(fabric, self.q, self.node, self.now, self.out);
         Ok(())
     }
 
@@ -187,34 +195,39 @@ impl<'a> Ctx<'a> {
         self.q.schedule(
             self.now + delay,
             FabricEvent::AppTimer {
-                node: self.node,
+                node: self.node as u32,
                 token,
             },
         );
     }
 }
 
+/// Routes one RNIC's pending actions into the event queue, draining the
+/// caller's scratch buffer in place (no per-call allocation).
 fn apply_rnic_actions(
     fabric: &mut Fabric,
     q: &mut EventQueue<FabricEvent>,
     node: usize,
     now: SimTime,
-    actions: Vec<RnicAction>,
+    actions: &mut Vec<RnicAction>,
 ) {
     let prop = fabric.cfg.link.propagation;
     let peer = fabric.rnic_peer[node];
-    for a in actions {
+    for a in actions.drain(..) {
         match a {
-            RnicAction::Wake { at } => q.schedule(at, FabricEvent::RnicWake(node)),
+            RnicAction::Wake { at } => q.schedule(at, FabricEvent::RnicWake(node as u32)),
             RnicAction::Transmit { packet, serialize } => match peer {
                 Endpoint::Rnic(j) => q.schedule(
                     now + serialize + prop,
-                    FabricEvent::RnicPacket { node: j, packet },
+                    FabricEvent::RnicPacket {
+                        node: j as u32,
+                        packet,
+                    },
                 ),
                 Endpoint::SwitchPort(s, p) => q.schedule(
                     now + prop,
                     FabricEvent::SwitchPacket {
-                        switch: s,
+                        switch: s as u32,
                         ingress: p,
                         packet,
                     },
@@ -223,38 +236,52 @@ fn apply_rnic_actions(
             RnicAction::ReturnCredit { vl, bytes, after } => match peer {
                 Endpoint::Rnic(j) => q.schedule(
                     now + after + prop,
-                    FabricEvent::RnicCredit { node: j, vl, bytes },
+                    FabricEvent::RnicCredit {
+                        node: j as u32,
+                        vl,
+                        bytes,
+                    },
                 ),
                 Endpoint::SwitchPort(s, p) => q.schedule(
                     now + after + prop,
                     FabricEvent::SwitchCredit {
-                        switch: s,
+                        switch: s as u32,
                         egress: p,
                         vl,
                         bytes,
                     },
                 ),
             },
-            RnicAction::Complete { cqe } => {
-                q.schedule(cqe.visible_at.max(now), FabricEvent::AppCqe { node, cqe })
-            }
+            RnicAction::Complete { cqe } => q.schedule(
+                cqe.visible_at.max(now),
+                FabricEvent::AppCqe {
+                    node: node as u32,
+                    cqe,
+                },
+            ),
         }
     }
 }
 
+/// Routes one switch's pending actions into the event queue, draining the
+/// caller's scratch buffer in place (no per-call allocation).
 fn apply_switch_actions(
     fabric: &mut Fabric,
     q: &mut EventQueue<FabricEvent>,
     switch: usize,
     now: SimTime,
-    actions: Vec<SwitchAction>,
+    actions: &mut Vec<SwitchAction>,
 ) {
     let prop = fabric.cfg.link.propagation;
-    for a in actions {
+    for a in actions.drain(..) {
         match a {
-            SwitchAction::Wake { egress, at } => {
-                q.schedule(at, FabricEvent::SwitchWake { switch, egress })
-            }
+            SwitchAction::Wake { egress, at } => q.schedule(
+                at,
+                FabricEvent::SwitchWake {
+                    switch: switch as u32,
+                    egress,
+                },
+            ),
             SwitchAction::Transmit {
                 egress,
                 packet,
@@ -263,12 +290,15 @@ fn apply_switch_actions(
             } => match fabric.switch_peer[switch][egress.index()] {
                 Some(Endpoint::Rnic(j)) => q.schedule(
                     now + start_after + serialize + prop,
-                    FabricEvent::RnicPacket { node: j, packet },
+                    FabricEvent::RnicPacket {
+                        node: j as u32,
+                        packet,
+                    },
                 ),
                 Some(Endpoint::SwitchPort(s2, p2)) => q.schedule(
                     now + start_after + prop,
                     FabricEvent::SwitchPacket {
-                        switch: s2,
+                        switch: s2 as u32,
                         ingress: p2,
                         packet,
                     },
@@ -281,13 +311,18 @@ fn apply_switch_actions(
             },
             SwitchAction::ReturnCredit { ingress, vl, bytes } => {
                 match fabric.switch_peer[switch][ingress.index()] {
-                    Some(Endpoint::Rnic(j)) => {
-                        q.schedule(now + prop, FabricEvent::RnicCredit { node: j, vl, bytes })
-                    }
+                    Some(Endpoint::Rnic(j)) => q.schedule(
+                        now + prop,
+                        FabricEvent::RnicCredit {
+                            node: j as u32,
+                            vl,
+                            bytes,
+                        },
+                    ),
                     Some(Endpoint::SwitchPort(s2, p2)) => q.schedule(
                         now + prop,
                         FabricEvent::SwitchCredit {
-                            switch: s2,
+                            switch: s2 as u32,
                             egress: p2,
                             vl,
                             bytes,
@@ -310,12 +345,43 @@ struct WorldState {
     /// One optional app per node (taken out during callbacks).
     apps: Vec<Option<Box<dyn App>>>,
     tracer: Option<Tracer>,
+    /// Scratch buffers for device actions, drained by the `apply_*`
+    /// routers every event so the hot loop never allocates.
+    rnic_out: Vec<RnicAction>,
+    switch_out: Vec<SwitchAction>,
+    /// When set, [`World::handle`] drains every queued event that shares
+    /// the current timestamp in the same call (batched link delivery).
+    /// Off for budgeted runs, whose event accounting counts loop-level
+    /// pops.
+    batch: bool,
 }
 
 impl World for WorldState {
     type Event = FabricEvent;
 
     fn handle(&mut self, now: SimTime, event: FabricEvent, q: &mut EventQueue<FabricEvent>) {
+        self.handle_one(now, event, q);
+        if self.batch {
+            // Batched link delivery: every event at this exact timestamp
+            // (including zero-delay events scheduled while draining) is
+            // dispatched here, skipping the run loop's per-event stop
+            // check and virtual dispatch. Pop order is identical to the
+            // unbatched loop — (time, seq) FIFO — so results are
+            // bit-identical.
+            while let Some(next) = q.pop_if_at(now) {
+                self.handle_one(now, next, q);
+            }
+        }
+    }
+}
+
+impl WorldState {
+    #[inline]
+    fn handle_one(&mut self, now: SimTime, event: FabricEvent, q: &mut EventQueue<FabricEvent>) {
+        #[cfg(feature = "sim-prof")]
+        let prof_kind = crate::prof::kind_of(&event);
+        #[cfg(feature = "sim-prof")]
+        let prof_start = std::time::Instant::now();
         if let Some(tracer) = &mut self.tracer {
             // Copy the traced fields out of the slab before the handlers
             // below consume the packet.
@@ -329,7 +395,7 @@ impl World for WorldState {
                     tracer.record(
                         now,
                         TraceEvent::SwitchIngress {
-                            switch: *switch,
+                            switch: *switch as usize,
                             ingress: *ingress,
                             packet: p.id,
                             payload: p.payload,
@@ -341,7 +407,7 @@ impl World for WorldState {
                     tracer.record(
                         now,
                         TraceEvent::HostArrival {
-                            node: *node,
+                            node: *node as usize,
                             packet: p.id,
                             payload: p.payload,
                         },
@@ -350,42 +416,59 @@ impl World for WorldState {
                 FabricEvent::AppCqe { node, cqe } => tracer.record(
                     now,
                     TraceEvent::Completion {
-                        node: *node,
+                        node: *node as usize,
                         wr_id: cqe.wr_id.0,
                     },
                 ),
                 _ => {}
             }
         }
-        // Split field borrows: the device gets `&mut` while the slab is
-        // read (or mutated) alongside it — both are disjoint fields of
-        // the fabric.
+        // Split field borrows: the device gets `&mut` while the slab and
+        // the scratch action buffer are used alongside it — all disjoint
+        // fields. Hot packet/wake arms come first.
         let fabric = &mut self.fabric;
         match event {
-            FabricEvent::RnicWake(node) => {
-                let actions = fabric.rnics[node].wake(now, &fabric.slab);
-                apply_rnic_actions(fabric, q, node, now, actions);
-            }
-            FabricEvent::RnicPacket { node, packet } => {
-                let actions = fabric.rnics[node].packet_arrival(now, packet, &mut fabric.slab);
-                apply_rnic_actions(fabric, q, node, now, actions);
-            }
-            FabricEvent::RnicCredit { node, vl, bytes } => {
-                let actions = fabric.rnics[node].credit_from_peer(now, vl, bytes, &fabric.slab);
-                apply_rnic_actions(fabric, q, node, now, actions);
-            }
             FabricEvent::SwitchPacket {
                 switch,
                 ingress,
                 packet,
             } => {
-                let actions =
-                    fabric.switches[switch].packet_arrival(now, ingress, packet, &fabric.slab);
-                apply_switch_actions(fabric, q, switch, now, actions);
+                let switch = switch as usize;
+                fabric.switches[switch].packet_arrival(
+                    now,
+                    ingress,
+                    packet,
+                    &fabric.slab,
+                    &mut self.switch_out,
+                );
+                apply_switch_actions(fabric, q, switch, now, &mut self.switch_out);
             }
             FabricEvent::SwitchWake { switch, egress } => {
-                let actions = fabric.switches[switch].egress_wake(now, egress);
-                apply_switch_actions(fabric, q, switch, now, actions);
+                let switch = switch as usize;
+                fabric.switches[switch].egress_wake(now, egress, &mut self.switch_out);
+                apply_switch_actions(fabric, q, switch, now, &mut self.switch_out);
+            }
+            FabricEvent::RnicPacket { node, packet } => {
+                let node = node as usize;
+                fabric.rnics[node].packet_arrival(
+                    now,
+                    packet,
+                    &mut fabric.slab,
+                    &mut self.rnic_out,
+                );
+                apply_rnic_actions(fabric, q, node, now, &mut self.rnic_out);
+            }
+            FabricEvent::RnicWake(node) => {
+                let idx = node as usize;
+                // Busy-wire re-arm fast path: when the wake would only
+                // reschedule itself (the dominant event in bandwidth-bound
+                // runs), skip the action buffer entirely.
+                if let Some(at) = fabric.rnics[idx].wake_rearm_only(now) {
+                    q.schedule(at, FabricEvent::RnicWake(node));
+                } else {
+                    fabric.rnics[idx].wake(now, &fabric.slab, &mut self.rnic_out);
+                    apply_rnic_actions(fabric, q, idx, now, &mut self.rnic_out);
+                }
             }
             FabricEvent::SwitchCredit {
                 switch,
@@ -393,21 +476,38 @@ impl World for WorldState {
                 vl,
                 bytes,
             } => {
-                let actions =
-                    fabric.switches[switch].credit_from_downstream(now, egress, vl, bytes);
-                apply_switch_actions(fabric, q, switch, now, actions);
+                let switch = switch as usize;
+                fabric.switches[switch].credit_from_downstream(
+                    now,
+                    egress,
+                    vl,
+                    bytes,
+                    &mut self.switch_out,
+                );
+                apply_switch_actions(fabric, q, switch, now, &mut self.switch_out);
+            }
+            FabricEvent::RnicCredit { node, vl, bytes } => {
+                let node = node as usize;
+                fabric.rnics[node].credit_from_peer(
+                    now,
+                    vl,
+                    bytes,
+                    &fabric.slab,
+                    &mut self.rnic_out,
+                );
+                apply_rnic_actions(fabric, q, node, now, &mut self.rnic_out);
             }
             FabricEvent::AppCqe { node, cqe } => {
-                self.with_app(node, now, q, |app, ctx| app.on_cqe(ctx, cqe));
+                self.with_app(node as usize, now, q, |app, ctx| app.on_cqe(ctx, cqe));
             }
             FabricEvent::AppTimer { node, token } => {
-                self.with_app(node, now, q, |app, ctx| app.on_timer(ctx, token));
+                self.with_app(node as usize, now, q, |app, ctx| app.on_timer(ctx, token));
             }
         }
+        #[cfg(feature = "sim-prof")]
+        crate::prof::record(prof_kind, prof_start.elapsed().as_nanos() as u64);
     }
-}
 
-impl WorldState {
     fn with_app<F>(&mut self, node: usize, now: SimTime, q: &mut EventQueue<FabricEvent>, f: F)
     where
         F: FnOnce(&mut dyn App, &mut Ctx<'_>),
@@ -421,6 +521,7 @@ impl WorldState {
                 node,
                 fabric: &mut self.fabric,
                 q,
+                out: &mut self.rnic_out,
             };
             f(app.as_mut(), &mut ctx);
         }
@@ -500,6 +601,9 @@ impl Sim {
                 fabric,
                 apps: (0..nodes).map(|_| None).collect(),
                 tracer: None,
+                rnic_out: Vec::with_capacity(64),
+                switch_out: Vec::with_capacity(64),
+                batch: true,
             },
             // Pre-size the heap: converged-traffic runs keep on the order
             // of a few hundred events in flight per node, and one up-front
@@ -546,6 +650,7 @@ impl Sim {
     /// stopping at a horizon legitimately strands in-flight traffic.
     pub fn run_until(&mut self, t: SimTime) {
         let before = self.q.popped();
+        self.world.batch = true;
         run(&mut self.world, &mut self.q, StopCondition::At(t));
         EVENTS_PROCESSED.fetch_add(self.q.popped() - before, Ordering::Relaxed);
         SLAB_HIGH_WATER.fetch_max(
@@ -569,6 +674,9 @@ impl Sim {
         cancelled: &mut dyn FnMut() -> bool,
     ) -> RunOutcome {
         let before = self.q.popped();
+        // Budgeted runs count events at the run loop: batching would let
+        // `handle` pop past `max_events` between checks, so it is off.
+        self.world.batch = false;
         let out = run_budgeted(
             &mut self.world,
             &mut self.q,
@@ -591,6 +699,7 @@ impl Sim {
     /// in the slab is a leak; it is added to [`packets_leaked_total`].
     pub fn run_to_quiescence(&mut self) {
         let before = self.q.popped();
+        self.world.batch = true;
         run(&mut self.world, &mut self.q, StopCondition::QueueEmpty);
         EVENTS_PROCESSED.fetch_add(self.q.popped() - before, Ordering::Relaxed);
         SLAB_HIGH_WATER.fetch_max(

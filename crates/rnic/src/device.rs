@@ -1,6 +1,7 @@
 //! The RNIC device state machine.
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 use rperf_model::arena::{PacketRef, PacketSlab};
@@ -82,6 +83,41 @@ enum PendingTx {
     Ack(VirtualLane, PacketRef, u64),
 }
 
+/// A pending-TX timer: `item` becomes injectable at `at`. Ordered by
+/// `(at, seq)` with the comparison reversed so a max-[`BinaryHeap`] pops the
+/// earliest timer first, FIFO within a timestamp — the same drain order the
+/// previous `BTreeMap<SimTime, Vec<PendingTx>>` produced, without a `Vec`
+/// allocation per distinct timestamp.
+#[derive(Debug, Clone, Copy)]
+struct TxTimer {
+    at: SimTime,
+    seq: u64,
+    item: PendingTx,
+}
+
+impl PartialEq for TxTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for TxTimer {}
+
+impl PartialOrd for TxTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TxTimer {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 /// The RNIC device.
 ///
 /// Pure state machine driven by five entry points: [`Rnic::post_send`] /
@@ -101,8 +137,11 @@ pub struct Rnic {
     loop_rate: LinkRate,
     pcie_rate: LinkRate,
     rng: SimRng,
-    qps: BTreeMap<u32, QueuePair>,
-    next_qp: u32,
+    /// QP table. Numbers are handed out densely from 1 by
+    /// [`Rnic::create_qp`], so QP `n` lives at index `n - 1` and the hot
+    /// per-packet and per-WR lookups cost an array index instead of a
+    /// tree walk.
+    qps: Vec<QueuePair>,
     next_msg: u64,
     next_pkt: u64,
     /// WQE engine busy horizon (the message-rate cap).
@@ -124,7 +163,9 @@ pub struct Rnic {
     /// and ordered; per-packet processing jitter must not reorder them.
     ack_horizon: SimTime,
     txq: TxQueue,
-    pending_tx: BTreeMap<SimTime, Vec<PendingTx>>,
+    pending_tx: BinaryHeap<TxTimer>,
+    /// FIFO tie-break for `pending_tx` timers at the same instant.
+    pending_seq: u64,
     /// Credits held toward the downstream peer (switch ingress buffer or a
     /// directly attached RNIC's receive buffer).
     peer_credits: CreditLedger,
@@ -156,8 +197,7 @@ impl Rnic {
             node,
             lid,
             rng,
-            qps: BTreeMap::new(),
-            next_qp: 1,
+            qps: Vec::new(),
             next_msg: 0,
             next_pkt: 0,
             engine_free: SimTime::ZERO,
@@ -167,7 +207,8 @@ impl Rnic {
             rx_deliver_horizon: SimTime::ZERO,
             ack_horizon: SimTime::ZERO,
             txq: TxQueue::new(vls),
-            pending_tx: BTreeMap::new(),
+            pending_tx: BinaryHeap::new(),
+            pending_seq: 0,
             peer_credits: CreditLedger::unlimited(vls),
             owner: BTreeMap::new(),
             rx_accum: BTreeMap::new(),
@@ -208,10 +249,20 @@ impl Rnic {
 
     /// Creates a queue pair.
     pub fn create_qp(&mut self, transport: Transport) -> QpNum {
-        let num = QpNum::new(self.next_qp);
-        self.next_qp += 1;
-        self.qps.insert(num.raw(), QueuePair::new(num, transport));
+        let num = QpNum::new(self.qps.len() as u32 + 1);
+        self.qps.push(QueuePair::new(num, transport));
         num
+    }
+
+    /// Looks up QP number `raw` (0 is the "no QP" sentinel and misses).
+    #[inline]
+    fn qp_slot(&self, raw: u32) -> Option<&QueuePair> {
+        self.qps.get(raw.wrapping_sub(1) as usize)
+    }
+
+    #[inline]
+    fn qp_slot_mut(&mut self, raw: u32) -> Option<&mut QueuePair> {
+        self.qps.get_mut(raw.wrapping_sub(1) as usize)
     }
 
     /// Read access to a queue pair (diagnostics, tests).
@@ -220,14 +271,14 @@ impl Rnic {
     ///
     /// Panics if the QP does not exist.
     pub fn qp(&self, num: QpNum) -> &QueuePair {
-        &self.qps[&num.raw()]
+        self.qp_slot(num.raw()).expect("unknown QP")
     }
 
     /// Pre-posts a receive buffer. Posting to an unknown QP is a harness
     /// bug: debug builds assert, release builds drop the buffer (the
     /// receive side then reports an autofill instead of corrupting state).
     pub fn post_recv(&mut self, qp: QpNum, wr: RecvWr) {
-        let Some(qp) = self.qps.get_mut(&qp.raw()) else {
+        let Some(qp) = self.qp_slot_mut(qp.raw()) else {
             debug_assert!(false, "post_recv on unknown QP");
             return;
         };
@@ -255,7 +306,9 @@ impl Rnic {
     }
 
     fn schedule_tx(&mut self, at: SimTime, item: PendingTx, out: &mut Vec<RnicAction>) {
-        self.pending_tx.entry(at).or_default().push(item);
+        let seq = self.pending_seq;
+        self.pending_seq += 1;
+        self.pending_tx.push(TxTimer { at, seq, item });
         out.push(RnicAction::Wake { at });
     }
 
@@ -274,7 +327,8 @@ impl Rnic {
         self.schedule_tx(at, PendingTx::Data(vl, handle, wire), out);
     }
 
-    /// Posts one send work request (one doorbell).
+    /// Posts one send work request (one doorbell), appending resulting
+    /// actions to `out`. Single-WR fast path: no batch `Vec` is built.
     ///
     /// # Errors
     ///
@@ -283,52 +337,61 @@ impl Rnic {
     pub fn post_send(
         &mut self,
         now: SimTime,
-        qp: QpNum,
+        qp_num: QpNum,
         wr: SendWr,
         slab: &mut PacketSlab,
-    ) -> Result<Vec<RnicAction>, VerbsError> {
-        self.post_send_batch(now, qp, vec![wr], slab)
+        out: &mut Vec<RnicAction>,
+    ) -> Result<(), VerbsError> {
+        let Some(qp) = self.qp_slot_mut(qp_num.raw()) else {
+            debug_assert!(false, "post_send on unknown QP");
+            return Ok(());
+        };
+        qp.post_send(wr)?;
+        let wqe_at = now + self.cfg.mmio_post;
+        let Some(wr) = self.qp_slot_mut(qp_num.raw()).and_then(QueuePair::pop_send) else {
+            debug_assert!(false, "send queue lost a just-posted WR");
+            return Ok(());
+        };
+        self.launch_wr(now, wqe_at, qp_num, wr, slab, out);
+        Ok(())
     }
 
     /// Posts a batch of send work requests with a single doorbell —
     /// the batching optimization the paper's BSGs (Section VIII-A) and the
-    /// pretend-LSG (Section VIII-C) use.
+    /// pretend-LSG (Section VIII-C) use. Resulting actions are appended to
+    /// `out`.
     ///
     /// # Errors
     ///
     /// If any work request fails validation, no work is enqueued.
     /// Posting on an unknown QP is a harness bug: debug builds assert,
-    /// release builds drop the batch and return no actions.
+    /// release builds drop the batch and append no actions.
     pub fn post_send_batch(
         &mut self,
         now: SimTime,
         qp_num: QpNum,
         wrs: Vec<SendWr>,
         slab: &mut PacketSlab,
-    ) -> Result<Vec<RnicAction>, VerbsError> {
+        out: &mut Vec<RnicAction>,
+    ) -> Result<(), VerbsError> {
         // Validate everything up front.
-        let Some(qp) = self.qps.get_mut(&qp_num.raw()) else {
+        let Some(qp) = self.qp_slot_mut(qp_num.raw()) else {
             debug_assert!(false, "post_send_batch on unknown QP");
-            return Ok(Vec::new());
+            return Ok(());
         };
         for wr in &wrs {
             qp.post_send(*wr)?;
         }
-        let mut out = Vec::new();
         let wqe_at = now + self.cfg.mmio_post;
         for _ in 0..wrs.len() {
             // launch_wr needs &mut self, so re-fetch the QP each round.
-            let Some(wr) = self
-                .qps
-                .get_mut(&qp_num.raw())
-                .and_then(QueuePair::pop_send)
-            else {
+            let Some(wr) = self.qp_slot_mut(qp_num.raw()).and_then(QueuePair::pop_send) else {
                 debug_assert!(false, "send queue lost a just-posted WR");
                 break;
             };
-            self.launch_wr(now, wqe_at, qp_num, wr, slab, &mut out);
+            self.launch_wr(now, wqe_at, qp_num, wr, slab, out);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Runs one WR through the engine/DMA pipeline.
@@ -352,18 +415,18 @@ impl Rnic {
 
         let msg = self.alloc_msg();
         self.owner.insert(msg.raw(), qp_num.raw());
-        let Some(qp) = self.qps.get_mut(&qp_num.raw()) else {
+        let Some(qp) = self.qp_slot_mut(qp_num.raw()) else {
             debug_assert!(false, "launch_wr on unknown QP");
             return;
         };
         qp.register_outstanding(msg, wr, posted_at);
+        let transport = qp.transport();
 
         if wr.loopback {
-            self.launch_loopback(engine_done, qp_num, msg, wr, out);
+            self.launch_loopback(engine_done, qp_num, transport, msg, wr, out);
             return;
         }
 
-        let transport = self.qps[&qp_num.raw()].transport();
         let flow = FlowId::new(self.lid.raw() as u32);
         let inline = wr.payload <= self.cfg.inline_threshold && wr.verb != Verb::Read;
         // Inlined payloads and READ requests (no local payload) skip the
@@ -440,11 +503,11 @@ impl Rnic {
         &mut self,
         engine_done: SimTime,
         qp_num: QpNum,
+        transport: Transport,
         msg: MsgId,
         wr: SendWr,
         out: &mut Vec<RnicAction>,
     ) {
-        let transport = self.qps[&qp_num.raw()].transport();
         let inline = wr.payload <= self.cfg.inline_threshold;
         let dma = if inline {
             SimDuration::ZERO
@@ -460,7 +523,7 @@ impl Rnic {
 
         // Requester completion: internal turnaround plays the ACK's role.
         let visible = delivered + self.cfg.loopback_turnaround + self.cfg.dma_write_latency;
-        let Some(qp) = self.qps.get_mut(&qp_num.raw()) else {
+        let Some(qp) = self.qp_slot_mut(qp_num.raw()) else {
             debug_assert!(false, "loopback completion on unknown QP");
             return;
         };
@@ -503,7 +566,7 @@ impl Rnic {
     }
 
     fn take_recv(&mut self, qp_num: QpNum, bytes: u64) -> RecvWr {
-        let posted = match self.qps.get_mut(&qp_num.raw()) {
+        let posted = match self.qp_slot_mut(qp_num.raw()) {
             Some(qp) => qp.consume_recv().ok(),
             None => {
                 debug_assert!(false, "take_recv on unknown QP");
@@ -517,22 +580,45 @@ impl Rnic {
     }
 
     /// A self-scheduled wake-up: moves ready packets to the injection
-    /// queues and dispatches the wire.
-    pub fn wake(&mut self, now: SimTime, slab: &PacketSlab) -> Vec<RnicAction> {
-        let mut out = Vec::new();
+    /// queues and dispatches the wire, appending actions to `out`.
+    pub fn wake(&mut self, now: SimTime, slab: &PacketSlab, out: &mut Vec<RnicAction>) {
         self.drain_pending(now);
-        self.dispatch(now, slab, &mut out);
-        out
+        self.dispatch(now, slab, out);
+    }
+
+    /// Probes for the overwhelmingly common wake outcome in
+    /// bandwidth-bound runs (sim-prof attributes ~98% of all dispatched
+    /// events to it): the wire is still busy, no injection timer has
+    /// matured, and packets are queued — a full [`Rnic::wake`] would do
+    /// nothing but re-arm itself at `wire_free`. Returns that re-arm
+    /// time so the caller can schedule it directly and skip the action
+    /// buffer round-trip; `None` means take the full path.
+    #[inline]
+    pub fn wake_rearm_only(&self, now: SimTime) -> Option<SimTime> {
+        if self.wire_free > now
+            && !self.txq.is_empty()
+            && self.pending_tx.peek().is_none_or(|t| t.at > now)
+        {
+            Some(self.wire_free)
+        } else {
+            None
+        }
     }
 
     fn drain_pending(&mut self, now: SimTime) {
-        let due: Vec<SimTime> = self.pending_tx.range(..=now).map(|(t, _)| *t).collect();
-        for t in due {
-            for item in self.pending_tx.remove(&t).into_iter().flatten() {
-                match item {
-                    PendingTx::Data(vl, h, wire) => self.txq.push_data(vl, h, wire),
-                    PendingTx::Ack(vl, h, wire) => self.txq.push_ack(h, vl, wire),
-                }
+        // Timers pop in (at, seq) order — time-ascending, FIFO within an
+        // instant — so injection-queue order matches the schedule order.
+        loop {
+            match self.pending_tx.peek() {
+                Some(timer) if timer.at <= now => {}
+                _ => break,
+            }
+            let Some(timer) = self.pending_tx.pop() else {
+                break;
+            };
+            match timer.item {
+                PendingTx::Data(vl, h, wire) => self.txq.push_data(vl, h, wire),
+                PendingTx::Ack(vl, h, wire) => self.txq.push_ack(h, vl, wire),
             }
         }
     }
@@ -586,7 +672,7 @@ impl Rnic {
             return;
         };
         let qp_num = QpNum::new(qp_raw);
-        let Some(qp) = self.qps.get_mut(&qp_raw) else {
+        let Some(qp) = self.qp_slot_mut(qp_raw) else {
             debug_assert!(false, "owner table references unknown QP {qp_raw}");
             return;
         };
@@ -606,31 +692,31 @@ impl Rnic {
         }
     }
 
-    /// Credits returned by the attached peer.
+    /// Credits returned by the attached peer; appends actions to `out`.
     pub fn credit_from_peer(
         &mut self,
         now: SimTime,
         vl: VirtualLane,
         bytes: u64,
         slab: &PacketSlab,
-    ) -> Vec<RnicAction> {
+        out: &mut Vec<RnicAction>,
+    ) {
         self.peer_credits.replenish(vl, bytes);
-        let mut out = Vec::new();
         self.drain_pending(now);
-        self.dispatch(now, slab, &mut out);
-        out
+        self.dispatch(now, slab, out);
     }
 
     /// A packet's last bit arrived from the wire at `now`. The RNIC is the
     /// packet's final consumer: the handle is freed out of the slab here.
+    /// Resulting actions are appended to `out`.
     pub fn packet_arrival(
         &mut self,
         now: SimTime,
         packet: PacketRef,
         slab: &mut PacketSlab,
-    ) -> Vec<RnicAction> {
+        out: &mut Vec<RnicAction>,
+    ) {
         let packet = slab.free(packet);
-        let mut out = Vec::new();
         let rx_jitter = match &self.cfg.rx_jitter {
             Some(j) => j.sample(&mut self.rng),
             None => SimDuration::ZERO,
@@ -652,10 +738,10 @@ impl Rnic {
             PacketKind::Ack => {
                 self.stats.acks_received += 1;
                 let done_at = rx_done + self.cfg.ack_rx;
-                self.complete_requester(packet.msg, done_at, &mut out);
+                self.complete_requester(packet.msg, done_at, out);
             }
             PacketKind::ReadRequest { bytes } => {
-                self.respond_to_read(rx_done, &packet, bytes, slab, &mut out);
+                self.respond_to_read(rx_done, &packet, bytes, slab, out);
             }
             PacketKind::Data {
                 verb,
@@ -663,26 +749,26 @@ impl Rnic {
                 last,
                 ..
             } => {
-                let total = {
-                    let acc = self.rx_accum.entry(packet.msg.raw()).or_insert(0);
-                    *acc += packet.payload;
-                    *acc
-                };
                 if !last {
-                    return out;
+                    *self.rx_accum.entry(packet.msg.raw()).or_insert(0) += packet.payload;
+                    return;
                 }
-                self.rx_accum.remove(&packet.msg.raw());
+                // Single-packet messages (the common case) never touch the
+                // accumulator map.
+                let total = match self.rx_accum.remove(&packet.msg.raw()) {
+                    Some(acc) => acc + packet.payload,
+                    None => packet.payload,
+                };
                 if self.owner.contains_key(&packet.msg.raw()) {
                     // READ response data landing at the requester (Fig. 1a):
                     // complete once the payload DMA write finishes.
                     let landed = rx_done + self.cfg.dma_write_latency + self.pcie_time(total);
-                    self.complete_requester(packet.msg, landed, &mut out);
-                    return out;
+                    self.complete_requester(packet.msg, landed, out);
+                    return;
                 }
-                self.deliver_to_responder(rx_done, &packet, verb, transport, total, slab, &mut out);
+                self.deliver_to_responder(rx_done, &packet, verb, transport, total, slab, out);
             }
         }
-        out
     }
 
     fn respond_to_read(
@@ -782,7 +868,7 @@ impl Rnic {
             // Two-sided delivery: consume a pre-posted RECV, complete once
             // the payload lands in host memory.
             let qp_num = packet.dst_qp;
-            if self.qps.contains_key(&qp_num.raw()) {
+            if self.qp_slot(qp_num.raw()).is_some() {
                 let recv_wr = self.take_recv(qp_num, total);
                 out.push(RnicAction::Complete {
                     cqe: Cqe {
@@ -874,7 +960,9 @@ mod tests {
 
         /// Posts a send WR, feeding the resulting actions back in.
         fn post(&mut self, now: SimTime, qp: QpNum, wr: SendWr) -> Result<(), VerbsError> {
-            let actions = self.rnic.post_send(now, qp, wr, &mut self.slab)?;
+            let mut actions = Vec::new();
+            self.rnic
+                .post_send(now, qp, wr, &mut self.slab, &mut actions)?;
             self.absorb(now, actions);
             Ok(())
         }
@@ -883,7 +971,9 @@ mod tests {
         /// slab, as the fabric would have it resident there).
         fn deliver(&mut self, now: SimTime, packet: Packet) {
             let handle = self.slab.alloc(packet);
-            let actions = self.rnic.packet_arrival(now, handle, &mut self.slab);
+            let mut actions = Vec::new();
+            self.rnic
+                .packet_arrival(now, handle, &mut self.slab, &mut actions);
             self.absorb(now, actions);
         }
 
@@ -896,7 +986,8 @@ mod tests {
                 assert!(guard < 100_000, "wake storm");
                 let t = SimTime::from_ps(ps);
                 last = t;
-                let actions = self.rnic.wake(t, &self.slab);
+                let mut actions = Vec::new();
+                self.rnic.wake(t, &self.slab, &mut actions);
                 self.absorb(t, actions);
             }
             last
@@ -964,9 +1055,9 @@ mod tests {
         let mut p = Pump::new(1);
         let qp = p.rnic.create_qp(Transport::Rc);
         let wrs: Vec<SendWr> = (0..50).map(|i| send_wr(i, 64, 2)).collect();
-        let actions = p
-            .rnic
-            .post_send_batch(SimTime::ZERO, qp, wrs, &mut p.slab)
+        let mut actions = Vec::new();
+        p.rnic
+            .post_send_batch(SimTime::ZERO, qp, wrs, &mut p.slab, &mut actions)
             .unwrap();
         p.absorb(SimTime::ZERO, actions);
         p.run();
@@ -1208,18 +1299,18 @@ mod tests {
         p.rnic.set_peer_credits(CreditLedger::new(9, 4_148));
         let qp = p.rnic.create_qp(Transport::Rc);
         let wrs = vec![send_wr(1, 4096, 2), send_wr(2, 4096, 2)];
-        let actions = p
-            .rnic
-            .post_send_batch(SimTime::ZERO, qp, wrs, &mut p.slab)
+        let mut actions = Vec::new();
+        p.rnic
+            .post_send_batch(SimTime::ZERO, qp, wrs, &mut p.slab, &mut actions)
             .unwrap();
         p.absorb(SimTime::ZERO, actions);
         p.run();
         assert_eq!(p.transmitted.len(), 1, "only one credit grant available");
 
         let t = SimTime::from_us(100);
-        let actions = p
-            .rnic
-            .credit_from_peer(t, VirtualLane::new(0), 4_148, &p.slab);
+        let mut actions = Vec::new();
+        p.rnic
+            .credit_from_peer(t, VirtualLane::new(0), 4_148, &p.slab, &mut actions);
         p.absorb(t, actions);
         p.run();
         assert_eq!(p.transmitted.len(), 2);

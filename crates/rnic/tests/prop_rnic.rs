@@ -38,7 +38,8 @@ fn pump(
         guard += 1;
         assert!(guard < 200_000, "wake storm");
         let t = SimTime::from_ps(ps);
-        let actions = rnic.wake(t, slab);
+        let mut actions = Vec::new();
+        rnic.wake(t, slab, &mut actions);
         absorb(actions, t, slab, &mut wakes, &mut transmitted);
     }
     transmitted
@@ -72,7 +73,9 @@ proptest! {
             .enumerate()
             .map(|(i, &p)| SendWr::new(WrId(i as u64), Verb::Send, p).to(Lid::new(2), QpNum::new(1)))
             .collect();
-        let actions = rnic.post_send_batch(SimTime::ZERO, qp, wrs, &mut slab).unwrap();
+        let mut actions = Vec::new();
+        rnic.post_send_batch(SimTime::ZERO, qp, wrs, &mut slab, &mut actions)
+            .unwrap();
         let transmitted = pump(&mut rnic, &mut slab, actions);
         prop_assert!(slab.is_empty(), "every injected packet leaves the slab");
 
@@ -102,7 +105,9 @@ proptest! {
             .enumerate()
             .map(|(i, &p)| SendWr::new(WrId(i as u64), Verb::Send, p).to(Lid::new(2), QpNum::new(1)))
             .collect();
-        let actions = rnic.post_send_batch(SimTime::ZERO, qp, wrs, &mut slab).unwrap();
+        let mut actions = Vec::new();
+        rnic.post_send_batch(SimTime::ZERO, qp, wrs, &mut slab, &mut actions)
+            .unwrap();
         let transmitted = pump(&mut rnic, &mut slab, actions);
 
         for pair in transmitted.windows(2) {
@@ -128,7 +133,9 @@ proptest! {
         let wrs: Vec<SendWr> = (0..count)
             .map(|i| SendWr::new(WrId(i as u64), Verb::Send, 64).to(Lid::new(2), QpNum::new(1)))
             .collect();
-        let actions = rnic.post_send_batch(SimTime::ZERO, qp, wrs, &mut slab).unwrap();
+        let mut actions = Vec::new();
+        rnic.post_send_batch(SimTime::ZERO, qp, wrs, &mut slab, &mut actions)
+            .unwrap();
         let transmitted = pump(&mut rnic, &mut slab, actions);
         prop_assert_eq!(transmitted.len(), count);
         let engine = rnic.config().engine_time(1);
@@ -148,7 +155,9 @@ proptest! {
         let wr = SendWr::new(WrId(0), Verb::Send, payload)
             .to(Lid::new(1), qp)
             .via_loopback();
-        let actions = rnic.post_send(SimTime::ZERO, qp, wr, &mut slab).unwrap();
+        let mut actions = Vec::new();
+        rnic.post_send(SimTime::ZERO, qp, wr, &mut slab, &mut actions)
+            .unwrap();
         let transmitted = pump(&mut rnic, &mut slab, actions);
         prop_assert!(transmitted.is_empty());
         prop_assert!(slab.is_empty());

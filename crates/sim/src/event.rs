@@ -12,12 +12,14 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::time::SimTime;
 
 /// Log2 of the bucket width in picoseconds: events are hashed into the wheel
-/// by `at.as_ps() >> TICK_BITS`, i.e. 1024 ps (~1 ns) buckets. At 100 Gbps a
-/// byte serializes in 80 ps, so a bucket holds on the order of a dozen
-/// back-to-back byte boundaries — small enough that the per-bucket sort is a
-/// handful of entries, large enough that consecutive events usually share a
-/// bucket.
-const TICK_BITS: u32 = 10;
+/// by `at.as_ps() >> TICK_BITS`, i.e. 4096 ps (~4 ns) buckets. At 100 Gbps a
+/// byte serializes in 80 ps, so a bucket holds a cache-line's worth of
+/// back-to-back byte boundaries — small enough that the per-bucket sort
+/// stays a handful of entries, large enough that consecutive events share a
+/// bucket and one `advance` refills the ready lane for several pops (the
+/// fixed advance overhead is what dominates short diverse-timestamp
+/// figures; see DESIGN.md §3).
+const TICK_BITS: u32 = 12;
 
 /// Log2 of the slots per wheel level.
 const SLOT_BITS: u32 = 6;
@@ -95,6 +97,11 @@ pub struct EventQueue<E> {
     /// timestamp. Invariant: `ready` or `early` is non-empty whenever
     /// `len > 0`, so [`EventQueue::peek_time`] never has to touch the wheel.
     ready: VecDeque<Entry<E>>,
+    /// Bit `L` set ⇔ `levels[L].occupied != 0`. Lets [`EventQueue::advance`]
+    /// skip empty levels in the cascade scan (depth-adaptive advance) and
+    /// lets [`EventQueue::schedule`] prove the wheel empty in O(1) for the
+    /// sparse-queue cursor-jump fast path.
+    level_mask: u16,
     /// Overflow for events scheduled at ticks the cursor has already passed.
     /// `advance` moves the cursor to the next *occupied* bucket, which can
     /// overshoot the times a handler schedules at right after the pop (the
@@ -177,6 +184,7 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
             ready: VecDeque::with_capacity(capacity),
+            level_mask: 0,
             early: BinaryHeap::new(),
             levels: (0..LEVELS).map(|_| Level::new()).collect(),
             cur_tick: 0,
@@ -251,13 +259,64 @@ impl<E> EventQueue<E> {
                 Some(back) if entry.at < back.at => self.early.push(entry),
                 _ => self.ready.push_back(entry),
             }
+        } else if self.ready.is_empty() && self.early.is_empty() {
+            // Small-run fast path. Both lanes empty means the queue held no
+            // events before this call (invariant: a lane is non-empty
+            // whenever `len > 0`), so the wheel is empty too and the cursor
+            // can jump straight to the event's tick. This replaces a wheel
+            // hash plus a full `advance` scan — the fixed overhead that
+            // dominates sparse ping-pong workloads (short latency figures)
+            // where the queue drains to empty between every event.
+            debug_assert_eq!(self.len, 1);
+            debug_assert_eq!(self.level_mask, 0);
+            self.cur_tick = tick;
+            self.ready.push_back(entry);
         } else {
             self.place_in_wheel(entry, tick);
-            if self.ready.is_empty() && self.early.is_empty() {
-                // Keep the invariant "ready or early non-empty whenever
-                // len > 0" so `peek_time` never has to walk the wheel.
-                self.advance();
+        }
+    }
+
+    /// Schedules every `(at, event)` pair yielded by `events`.
+    ///
+    /// Pop-order equivalent to calling [`EventQueue::schedule`] once per
+    /// pair in iteration order: the (time, seq) FIFO ordering contract is
+    /// identical, with sequence numbers assigned in iteration order. The
+    /// batch form skips the per-call empty-lane check and performs the
+    /// cursor advance at most once after the whole batch, instead of paying
+    /// redundant cursor work on each call.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if any `at` is earlier than
+    /// [`EventQueue::now`].
+    pub fn schedule_batch<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        for (at, event) in events {
+            debug_assert!(
+                at >= self.now,
+                "event scheduled in the past: {at:?} < now {:?}",
+                self.now
+            );
+            let seq = self.seq;
+            self.seq += 1;
+            self.len += 1;
+            let entry = Entry { at, seq, event };
+            let tick = tick_of(at);
+            if tick <= self.cur_tick {
+                match self.ready.back() {
+                    Some(back) if entry.at < back.at => self.early.push(entry),
+                    _ => self.ready.push_back(entry),
+                }
+            } else {
+                self.place_in_wheel(entry, tick);
             }
+        }
+        if self.ready.is_empty() && self.early.is_empty() && self.len > 0 {
+            // Restore the invariant "ready or early non-empty whenever
+            // len > 0" once for the whole batch.
+            self.advance();
         }
     }
 
@@ -305,6 +364,21 @@ impl<E> EventQueue<E> {
         Some((entry.at, entry.event))
     }
 
+    /// Removes and returns the earliest event only if its timestamp is
+    /// exactly `at`; otherwise leaves the queue untouched.
+    ///
+    /// When it pops, the event is exactly the one [`EventQueue::pop`] would
+    /// have returned — same (time, seq) FIFO ordering contract — so a
+    /// `while let Some(e) = q.pop_if_at(now)` drain loop observes the same
+    /// event stream as guarding `pop` with [`EventQueue::peek_time`].
+    #[inline]
+    pub fn pop_if_at(&mut self, at: SimTime) -> Option<E> {
+        if self.peek_time()? != at {
+            return None;
+        }
+        self.pop().map(|(_, e)| e)
+    }
+
     /// The timestamp of the next event without removing it.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
@@ -326,6 +400,7 @@ impl<E> EventQueue<E> {
                 slot.clear();
             }
         }
+        self.level_mask = 0;
         self.len = 0;
     }
 
@@ -342,6 +417,7 @@ impl<E> EventQueue<E> {
         let level = ((63 - xor.leading_zeros()) / SLOT_BITS) as usize;
         let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
         self.levels[level].occupied |= 1u64 << slot;
+        self.level_mask |= 1u16 << level;
         self.levels[level].slots[slot].push(entry);
     }
 
@@ -359,6 +435,9 @@ impl<E> EventQueue<E> {
             if hit != 0 {
                 let s = hit.trailing_zeros() as usize;
                 self.levels[0].occupied &= !(1u64 << s);
+                if self.levels[0].occupied == 0 {
+                    self.level_mask &= !1u16;
+                }
                 self.cur_tick = (self.cur_tick & !SLOT_MASK) | s as u64;
                 let mut bucket = std::mem::take(&mut self.levels[0].slots[s]);
                 bucket.sort_unstable_by_key(|e| (e.at, e.seq));
@@ -368,9 +447,14 @@ impl<E> EventQueue<E> {
             }
 
             // Level 0 is exhausted: cascade the earliest bucket of the
-            // lowest occupied higher level down, then rescan.
+            // lowest occupied higher level down, then rescan. The cascade
+            // is depth-adaptive: `level_mask` names the non-empty levels,
+            // so the scan visits only those instead of probing all nine.
             let mut cascaded = false;
-            for level in 1..LEVELS {
+            let mut probe = u32::from(self.level_mask >> 1);
+            while probe != 0 {
+                let level = probe.trailing_zeros() as usize + 1;
+                probe &= probe - 1;
                 let shift = SLOT_BITS * level as u32;
                 let cur_at_level = self.cur_tick >> shift;
                 let cur_slot = (cur_at_level & SLOT_MASK) as u32;
@@ -380,16 +464,25 @@ impl<E> EventQueue<E> {
                 }
                 let s = hit.trailing_zeros() as u64;
                 self.levels[level].occupied &= !(1u64 << s);
+                if self.levels[level].occupied == 0 {
+                    self.level_mask &= !(1u16 << level);
+                }
                 let mut bucket = std::mem::take(&mut self.levels[level].slots[s as usize]);
-                // Jump the cursor to the bucket's base tick; everything the
-                // wheel still holds is at or after it.
+                // Jump the cursor to the earliest tick actually present in
+                // the bucket, not just its base: everything the wheel still
+                // holds is at or after it, and in cohort-heavy workloads
+                // (many events at one instant — the busy-wire wake pattern)
+                // the entire bucket shares a single tick, so it lands in
+                // `ready` in one pass instead of re-hashing into level 0
+                // and cascading a second time.
                 let base = ((cur_at_level & !SLOT_MASK) | s) << shift;
                 debug_assert!(base > self.cur_tick);
-                self.cur_tick = base;
+                let min_tick = bucket.iter().map(|e| tick_of(e.at)).min().unwrap_or(base);
+                debug_assert!(min_tick >= base);
+                self.cur_tick = min_tick;
                 for entry in bucket.drain(..) {
                     let tick = tick_of(entry.at);
-                    debug_assert!(tick >= base);
-                    if tick == base {
+                    if tick == min_tick {
                         self.ready.push_back(entry);
                     } else {
                         self.place_in_wheel(entry, tick);
@@ -554,6 +647,76 @@ mod tests {
             popped.push(e);
         }
         assert_eq!(popped, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn schedule_batch_matches_sequential_schedule() {
+        let times: Vec<u64> = vec![30, 10, 20, 10, 900_000, 10, 0, 77, 77];
+        let mut seq_q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            seq_q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut batch_q = EventQueue::new();
+        batch_q.schedule_batch(
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (SimTime::from_ns(t), i)),
+        );
+        loop {
+            let (a, b) = (seq_q.pop(), batch_q.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_batch_into_empty_queue_advances_once() {
+        let mut q = EventQueue::new();
+        q.schedule_batch([
+            (SimTime::from_us(5), "b"),
+            (SimTime::from_us(1), "a"),
+            (SimTime::from_us(5), "c"),
+        ]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_us(1)));
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn pop_if_at_only_pops_matching_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(5), "a");
+        q.schedule(SimTime::from_ns(5), "b");
+        q.schedule(SimTime::from_ns(9), "c");
+        assert_eq!(q.pop_if_at(SimTime::from_ns(4)), None);
+        assert_eq!(q.pop().unwrap().1, "a");
+        // Same-timestamp follow-up drains FIFO; later event is left queued.
+        assert_eq!(q.pop_if_at(SimTime::from_ns(5)), Some("b"));
+        assert_eq!(q.pop_if_at(SimTime::from_ns(5)), None);
+        assert_eq!(q.pop_if_at(SimTime::from_ns(9)), Some("c"));
+        assert_eq!(q.pop_if_at(SimTime::from_ns(9)), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_to_empty_then_far_schedule_uses_cursor_jump() {
+        // Ping-pong pattern: the queue empties between every event, with
+        // gaps that span multiple wheel levels — exercises the empty-queue
+        // cursor-jump fast path in `schedule`.
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        for i in 0..60u64 {
+            t += 1 + (i * i * 977) % 5_000_000;
+            q.schedule(SimTime::from_ns(t), i);
+            assert_eq!(q.pop(), Some((SimTime::from_ns(t), i)));
+            assert!(q.is_empty());
+        }
+        assert_eq!(q.now(), SimTime::from_ns(t));
     }
 
     #[test]

@@ -8,8 +8,8 @@ use rperf_model::{Lid, LinkRate, PortId, VirtualLane};
 use rperf_sim::{SimDuration, SimRng, SimTime};
 
 use crate::arbiter::PacketScheduler;
-use crate::buffer::{BufEntry, VlBuffer};
-use crate::credits::CreditLedger;
+use crate::buffer::{BufEntry, VlBufferArray};
+use crate::credits::{CreditLedger, CreditMatrix};
 use crate::tables::ForwardingTable;
 use crate::vlarb::VlArbiter;
 
@@ -73,24 +73,34 @@ pub struct SwitchStats {
 ///
 /// See the crate docs for the architecture. The switch is driven by three
 /// entry points — [`Switch::packet_arrival`], [`Switch::egress_wake`] and
-/// [`Switch::credit_from_downstream`] — each returning the actions the
-/// fabric must schedule. Only [`Switch::packet_arrival`] reads the packet
-/// slab: the route, wire size and VL are resolved once at admission and
-/// cached in the buffer entry, so arbitration rounds are handle-only.
+/// [`Switch::credit_from_downstream`] — each appending the actions the
+/// fabric must schedule to a caller-owned buffer. Only
+/// [`Switch::packet_arrival`] reads the packet slab: the route, wire size
+/// and VL are resolved once at admission and cached in the buffer entry, so
+/// arbitration rounds are handle-only scans over the struct-of-arrays
+/// head-metadata bank ([`VlBufferArray`]).
 #[derive(Debug)]
 pub struct Switch {
     cfg: Arc<SwitchConfig>,
     data_rate: LinkRate,
-    /// Input buffers, indexed `[ingress port][vl]`.
-    buffers: Vec<Vec<VlBuffer>>,
-    /// Credits held toward the peer downstream of each egress port.
-    down_credits: Vec<CreditLedger>,
+    /// Input buffers: struct-of-arrays bank, slots port-major.
+    buffers: VlBufferArray,
+    /// Credits held toward the peer downstream of each egress port,
+    /// flattened `egress × vl`.
+    down_credits: CreditMatrix,
     vlarbs: Vec<VlArbiter>,
     scheds: Vec<PacketScheduler>,
     busy_until: Vec<SimTime>,
     fwd: ForwardingTable,
     rng: SimRng,
     stats: SwitchStats,
+    /// Candidate VLs of the current arbitration round, in first-appearance
+    /// (slot) order. Scratch reused across rounds; cleared lazily at the
+    /// start of the next round so every exit path stays cheap.
+    cand_vls: Vec<VirtualLane>,
+    /// Per-VL candidate `(ingress, arrival)` lists, indexed by VL. Only the
+    /// lists named in `cand_vls` are populated.
+    cand_lists: Vec<Vec<(PortId, SimTime)>>,
 }
 
 impl Switch {
@@ -105,16 +115,8 @@ impl Switch {
         let cfg = cfg.into();
         let ports = cfg.ports as usize;
         let vls = cfg.vls;
-        let buffers = (0..ports)
-            .map(|_| {
-                (0..vls)
-                    .map(|_| VlBuffer::new(cfg.input_buffer_bytes))
-                    .collect()
-            })
-            .collect();
-        let down_credits = (0..ports)
-            .map(|_| CreditLedger::new(vls, cfg.input_buffer_bytes))
-            .collect();
+        let buffers = VlBufferArray::new(cfg.ports, vls, cfg.input_buffer_bytes);
+        let down_credits = CreditMatrix::new(cfg.ports, vls, cfg.input_buffer_bytes);
         // One shared arbitration table for all ports instead of a deep
         // clone per port.
         let vlarb_cfg = Arc::new(cfg.vlarb.clone());
@@ -134,6 +136,8 @@ impl Switch {
             fwd: ForwardingTable::new(),
             rng,
             stats: SwitchStats::default(),
+            cand_vls: Vec::with_capacity(vls as usize),
+            cand_lists: (0..vls).map(|_| Vec::with_capacity(ports)).collect(),
             cfg,
         }
     }
@@ -157,24 +161,24 @@ impl Switch {
     /// peer's advertisement differs from switch-buffer symmetry, e.g. a
     /// host RNIC).
     pub fn set_downstream_credits(&mut self, port: PortId, ledger: CreditLedger) {
-        self.down_credits[port.index()] = ledger;
+        self.down_credits.set_port(port, &ledger);
     }
 
     /// Aggregate counters.
     pub fn stats(&self) -> SwitchStats {
         let mut s = self.stats;
-        s.buffer_violations = self.buffers.iter().flatten().map(|b| b.violations()).sum();
+        s.buffer_violations = self.buffers.violations();
         s
     }
 
     /// Bytes buffered on one (ingress, VL) pair.
     pub fn occupancy(&self, ingress: PortId, vl: VirtualLane) -> u64 {
-        self.buffers[ingress.index()][vl.index()].occupied()
+        self.buffers.occupancy(ingress, vl)
     }
 
     /// Total bytes buffered switch-wide.
     pub fn total_buffered(&self) -> u64 {
-        self.buffers.iter().flatten().map(|b| b.occupied()).sum()
+        self.buffers.total_occupied()
     }
 
     /// `true` if the egress port is mid-transmission at `now`.
@@ -190,6 +194,10 @@ impl Switch {
     /// eligibility does not wait for the last bit; at equal port rates the
     /// egress can never underrun).
     ///
+    /// Resulting actions are appended to `out` (an out-parameter so the
+    /// fabric's dispatch loop reuses one buffer instead of allocating a
+    /// `Vec` per event).
+    ///
     /// # Panics
     ///
     /// Panics if the destination LID has no forwarding entry (a fabric
@@ -200,7 +208,8 @@ impl Switch {
         ingress: PortId,
         packet: PacketRef,
         slab: &PacketSlab,
-    ) -> Vec<SwitchAction> {
+        out: &mut Vec<SwitchAction>,
+    ) {
         let p = slab.get(packet);
         let egress = self
             .fwd
@@ -213,49 +222,52 @@ impl Switch {
             None => SimDuration::ZERO,
         };
         let eligible_at = now + self.cfg.pipeline_latency + jitter;
-        self.buffers[ingress.index()][vl.index()].push(BufEntry {
-            packet,
-            egress,
-            wire,
-            arrival: now,
-            eligible_at,
-        });
-        let mut out = Vec::new();
+        self.buffers.push(
+            ingress,
+            vl,
+            BufEntry {
+                packet,
+                egress,
+                wire,
+                arrival: now,
+                eligible_at,
+            },
+        );
         if self.busy_until[egress.index()] <= now && eligible_at <= now {
-            self.try_dispatch(now, egress, &mut out);
+            self.try_dispatch(now, egress, out);
         } else {
             out.push(SwitchAction::Wake {
                 egress,
                 at: eligible_at.max(self.busy_until[egress.index()]),
             });
         }
-        out
     }
 
-    /// A previously requested wake-up for `egress` fired.
-    pub fn egress_wake(&mut self, now: SimTime, egress: PortId) -> Vec<SwitchAction> {
-        let mut out = Vec::new();
-        self.try_dispatch(now, egress, &mut out);
-        out
+    /// A previously requested wake-up for `egress` fired; appends resulting
+    /// actions to `out`.
+    pub fn egress_wake(&mut self, now: SimTime, egress: PortId, out: &mut Vec<SwitchAction>) {
+        self.try_dispatch(now, egress, out);
     }
 
-    /// The peer downstream of `egress` freed `bytes` of VL buffer.
+    /// The peer downstream of `egress` freed `bytes` of VL buffer; appends
+    /// resulting actions to `out`.
     pub fn credit_from_downstream(
         &mut self,
         now: SimTime,
         egress: PortId,
         vl: VirtualLane,
         bytes: u64,
-    ) -> Vec<SwitchAction> {
-        self.down_credits[egress.index()].replenish(vl, bytes);
-        let mut out = Vec::new();
-        self.try_dispatch(now, egress, &mut out);
-        out
+        out: &mut Vec<SwitchAction>,
+    ) {
+        self.down_credits.replenish(egress, vl, bytes);
+        self.try_dispatch(now, egress, out);
     }
 
     /// Runs one arbitration round for `egress`; dispatches at most one
     /// packet (the port is then busy until its serialization completes).
-    /// Operates purely on buffer-entry metadata — no slab access.
+    /// Operates purely on the buffer bank's head-metadata arrays — no slab
+    /// access and no per-round allocation (candidate lists are scratch
+    /// reused across rounds).
     fn try_dispatch(&mut self, now: SimTime, egress: PortId, out: &mut Vec<SwitchAction>) {
         let e = egress.index();
         if self.busy_until[e] > now {
@@ -263,41 +275,59 @@ impl Switch {
             return;
         }
 
-        // Gather head-of-buffer candidates destined to this egress.
-        let mut per_vl: Vec<(VirtualLane, Vec<(PortId, SimTime)>)> = Vec::new();
+        // Clear the previous round's scratch (lazily, so every exit path
+        // below is free), then gather head-of-buffer candidates destined to
+        // this egress by walking the non-empty slots of the SoA bank in
+        // ascending slot order — identical to the historical port-major
+        // `for port { for vl }` scan.
+        for vl in self.cand_vls.drain(..) {
+            self.cand_lists[vl.index()].clear();
+        }
+        let egress_raw = egress.raw();
         let mut scanned: u64 = 0;
         let mut earliest_future: Option<SimTime> = None;
         let mut credit_blocked = false;
-        for p in 0..self.cfg.ports {
-            for v in 0..self.cfg.vls {
-                let Some(head) = self.buffers[p as usize][v as usize].head() else {
-                    continue;
-                };
-                if head.egress != egress {
-                    continue;
-                }
-                scanned += 1;
-                if head.eligible_at > now {
-                    earliest_future = Some(match earliest_future {
-                        Some(t) => t.min(head.eligible_at),
-                        None => head.eligible_at,
-                    });
-                    continue;
-                }
-                let vl = VirtualLane::new(v);
-                if !self.down_credits[e].can_send(vl, head.wire) {
-                    credit_blocked = true;
-                    continue;
-                }
-                match per_vl.iter_mut().find(|(cand_vl, _)| *cand_vl == vl) {
-                    Some((_, list)) => list.push((PortId::new(p), head.arrival)),
-                    None => per_vl.push((vl, vec![(PortId::new(p), head.arrival)])),
+        {
+            let Switch {
+                buffers,
+                down_credits,
+                cand_vls,
+                cand_lists,
+                ..
+            } = self;
+            let vls = buffers.vls();
+            for (w, &word) in buffers.nonempty_words().iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let slot = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    if buffers.head_egress_raw(slot) != egress_raw {
+                        continue;
+                    }
+                    scanned += 1;
+                    let eligible_at = buffers.head_eligible(slot);
+                    if eligible_at > now {
+                        earliest_future = Some(match earliest_future {
+                            Some(t) => t.min(eligible_at),
+                            None => eligible_at,
+                        });
+                        continue;
+                    }
+                    let vl = VirtualLane::new((slot % vls) as u8);
+                    if !down_credits.can_send(egress, vl, buffers.head_wire(slot)) {
+                        credit_blocked = true;
+                        continue;
+                    }
+                    let list = &mut cand_lists[vl.index()];
+                    if list.is_empty() {
+                        cand_vls.push(vl);
+                    }
+                    list.push((PortId::new((slot / vls) as u8), buffers.head_arrival(slot)));
                 }
             }
         }
 
-        let vls: Vec<VirtualLane> = per_vl.iter().map(|(vl, _)| *vl).collect();
-        let Some(vl) = self.vlarbs[e].choose(&vls) else {
+        let Some(vl) = self.vlarbs[e].choose(&self.cand_vls) else {
             if credit_blocked {
                 self.stats.credit_stalls += 1;
             }
@@ -311,24 +341,21 @@ impl Switch {
         // buffered: all three lookups are infallible by construction, but
         // a panic here would abort a whole sweep, so degrade to skipping
         // this dispatch under debug_assert cover instead.
-        let Some(candidates) = per_vl
-            .iter()
-            .find(|(cand_vl, _)| *cand_vl == vl)
-            .map(|(_, list)| list)
-        else {
+        let candidates = &self.cand_lists[vl.index()];
+        if candidates.is_empty() {
             debug_assert!(false, "chosen VL {vl} missing from the candidate set");
             return;
-        };
+        }
         let Some(ingress) = self.scheds[e].pick(candidates) else {
             debug_assert!(false, "scheduler declined non-empty candidates");
             return;
         };
-        let Some(entry) = self.buffers[ingress.index()][vl.index()].pop() else {
+        let Some(entry) = self.buffers.pop(ingress, vl) else {
             debug_assert!(false, "candidate head vanished from {ingress:?}/{vl}");
             return;
         };
         let size = entry.wire;
-        let consumed = self.down_credits[e].consume(vl, size);
+        let consumed = self.down_credits.consume(egress, vl, size);
         debug_assert!(consumed, "candidate was filtered by credit availability");
         self.vlarbs[e].account(vl, size);
         self.scheds[e].account(ingress, size);
@@ -363,7 +390,7 @@ impl Switch {
         // egress whose arbiter has no pending wake (its arrival wake fired
         // while this packet blocked the FIFO). Chain a wake so progress on
         // one output port can never strand traffic for another.
-        if let Some(next) = self.buffers[ingress.index()][vl.index()].head() {
+        if let Some(next) = self.buffers.head(ingress, vl) {
             if next.egress != egress {
                 out.push(SwitchAction::Wake {
                     egress: next.egress,
@@ -421,7 +448,15 @@ mod tests {
         packet: Packet,
     ) -> Vec<SwitchAction> {
         let handle = slab.alloc(packet);
-        sw.packet_arrival(now, ingress, handle, slab)
+        let mut out = Vec::new();
+        sw.packet_arrival(now, ingress, handle, slab, &mut out);
+        out
+    }
+
+    fn wake(sw: &mut Switch, now: SimTime, egress: PortId) -> Vec<SwitchAction> {
+        let mut out = Vec::new();
+        sw.egress_wake(now, egress, &mut out);
+        out
     }
 
     fn wake_of(actions: &[SwitchAction]) -> SimTime {
@@ -452,7 +487,7 @@ mod tests {
         let at = wake_of(&actions);
         assert_eq!(at, t0 + sw.config().pipeline_latency);
 
-        let actions = sw.egress_wake(at, PortId::new(0));
+        let actions = wake(&mut sw, at, PortId::new(0));
         let transmit = actions
             .iter()
             .find_map(|a| match a {
@@ -480,7 +515,7 @@ mod tests {
         let t0 = SimTime::from_ns(0);
         let a = arrive(&mut sw, &mut slab, t0, PortId::new(1), pkt(1, 0, 4096, 0));
         let at = wake_of(&a);
-        let actions = sw.egress_wake(at, PortId::new(0));
+        let actions = wake(&mut sw, at, PortId::new(0));
         let credit = actions.iter().find_map(|a| match a {
             SwitchAction::ReturnCredit { ingress, vl, bytes } => Some((*ingress, *vl, *bytes)),
             _ => None,
@@ -508,7 +543,7 @@ mod tests {
             pkt(2, 0, 64, 0),
         );
         let at = wake_of(&a).max(SimTime::from_ns(10) + sw.config().pipeline_latency);
-        let first = sw.egress_wake(at, PortId::new(0));
+        let first = wake(&mut sw, at, PortId::new(0));
         let got = transmit_id(&first, &slab).unwrap();
         assert_eq!(got, PacketId::new(1), "older arrival must win under FCFS");
     }
@@ -533,7 +568,7 @@ mod tests {
         let mut now = t + sw.config().pipeline_latency + SimDuration::from_ns(30);
         let mut order = Vec::new();
         for _ in 0..4 {
-            let actions = sw.egress_wake(now, PortId::new(0));
+            let actions = wake(&mut sw, now, PortId::new(0));
             for a in &actions {
                 if let SwitchAction::Transmit { packet, .. } = a {
                     order.push(slab.get(*packet).id.raw() / 10);
@@ -566,12 +601,12 @@ mod tests {
         );
         let at = wake_of(&a);
         // First packet dispatches and consumes the whole grant.
-        let first = sw.egress_wake(at, PortId::new(0));
+        let first = wake(&mut sw, at, PortId::new(0));
         let busy_until = wake_of(&first);
         assert_eq!(transmit_id(&first, &slab), Some(PacketId::new(1)));
 
         // Port free again, but the second packet has no credits.
-        let actions = sw.egress_wake(busy_until, PortId::new(0));
+        let actions = wake(&mut sw, busy_until, PortId::new(0));
         assert!(
             actions.is_empty(),
             "second packet must stall without credits: {actions:?}"
@@ -580,11 +615,13 @@ mod tests {
         assert_eq!(sw.total_buffered(), 4148);
 
         // Credits return from downstream: dispatch proceeds.
-        let actions = sw.credit_from_downstream(
+        let mut actions = Vec::new();
+        sw.credit_from_downstream(
             busy_until + SimDuration::from_ns(10),
             PortId::new(0),
             VirtualLane::new(0),
             4_148,
+            &mut actions,
         );
         assert_eq!(
             transmit_id(&actions, &slab),
@@ -620,7 +657,7 @@ mod tests {
             pkt(2, 0, 64, 1),
         );
         let now = SimTime::from_ns(300);
-        let actions = sw.egress_wake(now, PortId::new(0));
+        let actions = wake(&mut sw, now, PortId::new(0));
         let got = transmit_id(&actions, &slab).unwrap();
         assert_eq!(
             got,
@@ -641,16 +678,16 @@ mod tests {
             pkt(1, 0, 4096, 0),
         );
         let at = SimTime::ZERO + sw.config().pipeline_latency;
-        let first = sw.egress_wake(at, PortId::new(0));
+        let first = wake(&mut sw, at, PortId::new(0));
         let busy_until = wake_of(&first);
         // Second packet eligible while port busy.
         arrive(&mut sw, &mut slab, at, PortId::new(2), pkt(2, 0, 64, 0));
         let mid = at + SimDuration::from_ns(250);
         assert!(sw.egress_busy(PortId::new(0), mid));
-        let none = sw.egress_wake(mid, PortId::new(0));
+        let none = wake(&mut sw, mid, PortId::new(0));
         assert!(none.is_empty(), "{none:?}");
         // At busy_until the port frees and forwards the second packet.
-        let actions = sw.egress_wake(busy_until, PortId::new(0));
+        let actions = wake(&mut sw, busy_until, PortId::new(0));
         assert_eq!(transmit_id(&actions, &slab), Some(PacketId::new(2)));
     }
 

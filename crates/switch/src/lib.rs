@@ -42,8 +42,8 @@ mod tables;
 mod vlarb;
 
 pub use arbiter::PacketScheduler;
-pub use buffer::{BufEntry, VlBuffer};
-pub use credits::CreditLedger;
+pub use buffer::{BufEntry, VlBuffer, VlBufferArray};
+pub use credits::{CreditLedger, CreditMatrix};
 pub use device::{Switch, SwitchAction, SwitchStats};
 pub use tables::ForwardingTable;
 pub use vlarb::VlArbiter;

@@ -94,9 +94,9 @@ impl Harness {
             }
         }
         for (egress, bytes) in downstream_frees {
-            let more = self
-                .sw
-                .credit_from_downstream(now, egress, VirtualLane::new(0), bytes);
+            let mut more = Vec::new();
+            self.sw
+                .credit_from_downstream(now, egress, VirtualLane::new(0), bytes, &mut more);
             self.absorb(now, more);
         }
     }
@@ -110,9 +110,9 @@ impl Harness {
             return false;
         }
         let handle = self.slab.alloc(pkt);
-        let actions = self
-            .sw
-            .packet_arrival(now, PortId::new(port), handle, &self.slab);
+        let mut actions = Vec::new();
+        self.sw
+            .packet_arrival(now, PortId::new(port), handle, &self.slab, &mut actions);
         self.absorb(now, actions);
         true
     }
@@ -126,7 +126,8 @@ impl Harness {
             assert!(guard < 1_000_000, "wake storm");
             let t = SimTime::from_ps(ps);
             last = t;
-            let actions = self.sw.egress_wake(t, PortId::new(egress));
+            let mut actions = Vec::new();
+            self.sw.egress_wake(t, PortId::new(egress), &mut actions);
             self.absorb(t, actions);
         }
         last
