@@ -11,7 +11,12 @@
 //! The gate additionally enforces a *balance floor*: the latency figures
 //! (fig4, fig11, fig12) must each reach at least 60% of this run's
 //! aggregate events/sec, so an optimization that feeds the long bandwidth
-//! sweeps while starving the short latency sweeps cannot pass.
+//! sweeps while starving the short latency sweeps cannot pass. The
+//! converged incast figure (fig8_fig9) carries its own 45% floor — its
+//! event mix is inherently denser than the wake-dominated sweeps (see
+//! `FLOOR_FIGS`), so it runs slower by construction, but a collapse
+//! below half the aggregate would still mean the packet/credit/CQE
+//! paths regressed.
 //!
 //! `--bless` re-blesses the baseline: the run's per-figure throughput is
 //! min-merged into BENCH_baseline.json (missing baseline: the run is
@@ -191,13 +196,33 @@ fn gate_line(id: &str, measured: f64, base: f64, tol_pct: f64) -> bool {
     regressed
 }
 
-/// The latency-bound figures the balance floor protects, and the floor
-/// itself: each must reach at least this fraction of the run's aggregate
-/// events/sec. These are the figures dominated by short sweeps and timer
-/// churn rather than saturated links, i.e. the first to regress when an
-/// optimization trades wheel-advance latency for bulk throughput.
-const FLOOR_FIGS: [&str; 3] = ["fig4", "fig11", "fig12"];
-const FLOOR_FRAC: f64 = 0.6;
+/// The figures the balance floor protects, each with the fraction of the
+/// run's aggregate events/sec it must reach.
+///
+/// fig4/fig11/fig12 are the latency figures — dominated by short sweeps
+/// and timer churn rather than saturated links, i.e. the first to regress
+/// when an optimization trades wheel-advance latency for bulk throughput.
+///
+/// fig8_fig9 guards the *other* failure mode. The wake-dominated sweeps
+/// (fig5/fig7/fig10) are ~99% rearm-only `rnic_wake`s at ~45 ns each,
+/// which is what sets the aggregate rate; fig8_fig9's converged incast is
+/// a balanced mix (~10% each of switch/rnic packets, credits, and CQEs at
+/// 65–175 ns, only ~20% cheap wakes), so ~55% of aggregate is its natural
+/// ceiling — the sim-prof attribution shows no single hot kind to shave.
+/// Its 45% floor is headroom below that ceiling, not a target: dropping
+/// under it means the packet/credit/CQE handler paths themselves
+/// regressed, which the wake-heavy figures would barely notice.
+const FLOOR_FIGS: [(&str, f64); 4] = [
+    ("fig4", 0.6),
+    ("fig11", 0.6),
+    ("fig12", 0.6),
+    ("fig8_fig9", 0.45),
+];
+
+/// The floor fraction for `id`, if it is a floor figure.
+fn floor_frac(id: &str) -> Option<f64> {
+    FLOOR_FIGS.iter().find(|(f, _)| *f == id).map(|&(_, p)| p)
+}
 
 /// Checks the per-figure balance floor against this run's own aggregate;
 /// returns the number of figures below it.
@@ -205,9 +230,12 @@ fn gate_figure_floors(stats: &[FigStat]) -> usize {
     let total_wall: f64 = stats.iter().map(|s| s.wall_s).sum();
     let total_events: u64 = stats.iter().map(|s| s.events).sum();
     let aggregate = total_events as f64 / total_wall;
-    let floor = aggregate * FLOOR_FRAC;
     let mut below = 0;
-    for s in stats.iter().filter(|s| FLOOR_FIGS.contains(&s.id)) {
+    for s in stats.iter() {
+        let Some(frac) = floor_frac(s.id) else {
+            continue;
+        };
+        let floor = aggregate * frac;
         let eps = s.events as f64 / s.wall_s;
         let ok = eps >= floor;
         eprintln!(
@@ -215,7 +243,7 @@ fn gate_figure_floors(stats: &[FigStat]) -> usize {
             s.id,
             eps / 1e6,
             floor / 1e6,
-            FLOOR_FRAC * 100.0,
+            frac * 100.0,
             if ok { "" } else { "  BELOW FLOOR" }
         );
         if !ok {
@@ -239,10 +267,11 @@ const FLOOR_RETRIES: u32 = 3;
 /// before each attempt (shorter walls nudge the aggregate up slightly).
 fn retry_floor_figures(stats: &mut [FigStat], reruns: &[(&str, &dyn Fn())]) {
     for (id, rerun) in reruns {
+        let frac = floor_frac(id).expect("rerun list names a floor figure");
         for _ in 0..FLOOR_RETRIES {
             let total_wall: f64 = stats.iter().map(|s| s.wall_s).sum();
             let total_events: u64 = stats.iter().map(|s| s.events).sum();
-            let floor = total_events as f64 / total_wall * FLOOR_FRAC;
+            let floor = total_events as f64 / total_wall * frac;
             let stat = stats
                 .iter_mut()
                 .find(|s| s.id == *id)
@@ -344,6 +373,7 @@ fn bench_report_json(effort: &Effort, stats: &[FigStat], baseline: Option<f64>) 
             "packets_leaked",
             json::num(rperf_fabric::packets_leaked_total() as f64),
         ),
+        ("shards", json::num(effort.shards as f64)),
         ("figures", json::array(figures)),
     ])
 }
@@ -380,8 +410,28 @@ fn bless_baseline_json(stats: &[FigStat], existing: Option<&Baseline>) -> String
     ])
 }
 
-/// Serializes the per-figure sim-prof counter breakdown (the BENCH_prof
-/// sidecar; see `--prof`).
+/// Serializes the per-shard execution counters accumulated over the whole
+/// report run (events handled, wall-clock nanoseconds blocked at window
+/// barriers, mailbox messages exchanged). Empty unless the run was
+/// sharded (`--shards N`, N > 1): the sequential engine never records
+/// shard rows.
+#[cfg(feature = "sim-prof")]
+fn prof_shard_rows() -> Vec<String> {
+    rperf_fabric::prof::shard_snapshot()
+        .iter()
+        .map(|s| {
+            json::object([
+                ("shard", json::num(s.shard as f64)),
+                ("events", json::num(s.events as f64)),
+                ("barrier_wait_nanos", json::num(s.barrier_ns as f64)),
+                ("mailbox_msgs", json::num(s.mailbox_msgs as f64)),
+            ])
+        })
+        .collect()
+}
+
+/// Serializes the per-figure sim-prof counter breakdown plus the
+/// per-shard execution counters (the BENCH_prof sidecar; see `--prof`).
 fn prof_report_json(stats: &[FigStat]) -> String {
     let figures: Vec<String> = stats
         .iter()
@@ -400,7 +450,14 @@ fn prof_report_json(stats: &[FigStat]) -> String {
             json::object([("id", json::string(s.id)), ("kinds", json::array(kinds))])
         })
         .collect();
-    json::object([("figures", json::array(figures))])
+    #[cfg(feature = "sim-prof")]
+    let shards = prof_shard_rows();
+    #[cfg(not(feature = "sim-prof"))]
+    let shards = Vec::new();
+    json::object([
+        ("figures", json::array(figures)),
+        ("shards", json::array(shards)),
+    ])
 }
 
 fn nearest(series_x: &[f64], series_y: &[f64], x: f64) -> Option<f64> {
@@ -487,7 +544,11 @@ fn main() {
          Every figure is produced by sweeping declarative scenario specs\n\
          (`rperf::ScenarioSpec`) through the generic executor\n\
          (`rperf::execute`); see DESIGN.md §4.1. Golden tests pin the\n\
-         spec-driven output byte-for-byte to the pre-IR harness.\n",
+         spec-driven output byte-for-byte to the pre-IR harness, and the\n\
+         tables are byte-identical for any `--jobs`/`--shards` setting —\n\
+         parallelism (across simulations or, via conservative-lookahead\n\
+         sharding, inside one; DESIGN.md §3.7) is an execution strategy,\n\
+         never part of the result.\n",
         effort.seeds.len(),
         effort.scale
     );
@@ -760,7 +821,7 @@ fn main() {
     // Gated runs refine floor-figure measurements before anything is
     // written, so the JSON report and the gate see the same numbers.
     if gate_pct.is_some() {
-        let floor_reruns: [(&str, &dyn Fn()); 3] = [
+        let floor_reruns: [(&str, &dyn Fn()); 4] = [
             ("fig4", &|| {
                 figures::fig4(&effort);
             }),
@@ -769,6 +830,9 @@ fn main() {
             }),
             ("fig12", &|| {
                 figures::fig12(&effort);
+            }),
+            ("fig8_fig9", &|| {
+                figures::fig8_fig9(&effort);
             }),
         ];
         retry_floor_figures(&mut stats, &floor_reruns);
@@ -821,6 +885,15 @@ fn main() {
                 "wrote {} (per-event-kind dispatch counters)",
                 prof_path.display()
             );
+            for row in rperf_fabric::prof::shard_snapshot() {
+                eprintln!(
+                    "  shard {}: {} events, {:.1} ms barrier wait, {} mailbox msgs",
+                    row.shard,
+                    row.events,
+                    row.barrier_ns as f64 / 1e6,
+                    row.mailbox_msgs
+                );
+            }
         }
         #[cfg(not(feature = "sim-prof"))]
         eprintln!(
@@ -859,10 +932,7 @@ fn main() {
         };
         eprintln!("perf gate: fail if any figure or the total drops >{pct}% below baseline");
         let regressions = gate_against_baseline(base, &stats, pct);
-        eprintln!(
-            "perf gate: latency-figure balance floor ({}% of this run's aggregate)",
-            (FLOOR_FRAC * 100.0) as u32
-        );
+        eprintln!("perf gate: per-figure balance floors (fractions of this run's aggregate)");
         let below = gate_figure_floors(&stats);
         if regressions + below > 0 {
             eprintln!(

@@ -23,7 +23,12 @@ pub const PAYLOADS: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
 /// Executes a scenario table with the figure's measurement window (scaled
 /// by the effort level) and the given seed.
 fn run(table: ScenarioSpec, effort: &Effort, base_ms: f64, seed: u64) -> ScenarioOutcome {
-    execute(&table.with_duration(effort.window(base_ms)), seed)
+    execute(
+        &table
+            .with_duration(effort.window(base_ms))
+            .with_shards(effort.shards),
+        seed,
+    )
 }
 
 /// Fig. 4 — RPerf RTT vs payload size, with and without the switch
@@ -546,6 +551,7 @@ mod tests {
             seeds: vec![1],
             scale: 0.05,
             jobs: 1,
+            shards: 1,
         }
     }
 

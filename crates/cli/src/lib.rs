@@ -115,6 +115,10 @@ pub enum Command {
         seed: u64,
         /// Emit the outcome as deterministic JSON instead of text.
         json: bool,
+        /// Worker domains for sharded execution; `None` keeps whatever
+        /// the spec file says (default 1, the sequential engine).
+        /// Results are identical either way — this is a wall-clock knob.
+        shards: Option<usize>,
     },
     /// Submit a scenario-spec file to a running `rperf-serve` daemon.
     Submit {
@@ -278,7 +282,7 @@ COMMANDS:
     multihop   two-switch topology     [--policy fcfs|rr|fair]
     chain      switch-chain extension  [--switches N] [--bsgs N]
     sweep      payload sweep 64B-4096B [--what lat|bw] [--no-switch] [--seeds N]
-    scenario   run a spec file         <FILE> [--seed N] [--json]
+    scenario   run a spec file         <FILE> [--seed N] [--json] [--shards N]
     submit     send a spec file to a running rperf-serve daemon
                                        <FILE> [--seed N] [--addr HOST:PORT]
                                        [--attempts N] [--timeout-ms N]
@@ -295,6 +299,8 @@ COMMON OPTIONS:
     --policy fcfs|rr|fair
     --jobs N          worker threads for sweeps (default: all cores;
                       any value gives identical output)
+    --shards N        (scenario only) worker domains inside one run;
+                      any value gives identical output
 ";
 
 fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, ParseError> {
@@ -325,6 +331,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         };
         let mut seed = 1u64;
         let mut json = false;
+        let mut shards = None;
         let mut i = 2;
         while i < args.len() {
             match args[i].as_str() {
@@ -336,6 +343,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     json = true;
                     i += 1;
                 }
+                "--shards" => {
+                    let n = parse_u64("--shards", args.get(i + 1))?;
+                    if n == 0 || n > 64 {
+                        return Err(ParseError(format!("--shards must be in 1..=64, got {n}")));
+                    }
+                    shards = Some(n as usize);
+                    i += 2;
+                }
                 other => return Err(ParseError(format!("unknown option `{other}` for scenario"))),
             }
         }
@@ -343,6 +358,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             file: file.clone(),
             seed,
             json,
+            shards,
         });
     }
     // `submit` mirrors `scenario` but sends the spec to a daemon.
@@ -590,12 +606,20 @@ fn spec_of(common: &Common) -> RunSpec {
 /// code): an unreadable file is `Io`, a syntax error is `Spec` — with the
 /// parser's 1-based line number preserved as `file:line N: message` — and
 /// a spec that parses but fails validation is `Runtime`.
-fn run_scenario(file: &str, seed: u64, json: bool) -> Result<String, CliError> {
+fn run_scenario(
+    file: &str,
+    seed: u64,
+    json: bool,
+    shards: Option<usize>,
+) -> Result<String, CliError> {
     let text = std::fs::read_to_string(file).map_err(|e| CliError::Io(format!("{file}: {e}")))?;
     // `ParseError` renders as `line N: msg`; prefixing the path yields the
     // compiler-style `file:line N: msg` the smoke test greps for.
-    let spec =
+    let mut spec =
         rperf::ScenarioSpec::parse(&text).map_err(|e| CliError::Spec(format!("{file}:{e}")))?;
+    if let Some(shards) = shards {
+        spec.shards = shards;
+    }
     spec.validate()
         .map_err(|e| CliError::Runtime(format!("{file}: {e}")))?;
     let out = rperf::execute(&spec, seed);
@@ -713,7 +737,12 @@ fn render_outcome(out: &rperf::ScenarioOutcome) -> String {
 /// classes, with transport failures as `Io`).
 pub fn run(cmd: &Command) -> Result<String, CliError> {
     match cmd {
-        Command::Scenario { file, seed, json } => run_scenario(file, *seed, *json),
+        Command::Scenario {
+            file,
+            seed,
+            json,
+            shards,
+        } => run_scenario(file, *seed, *json, *shards),
         Command::Submit {
             file,
             seed,
@@ -732,9 +761,12 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
 pub fn execute(cmd: &Command) -> String {
     match cmd {
         Command::Help => USAGE.to_string(),
-        Command::Scenario { file, seed, json } => {
-            run_scenario(file, *seed, *json).unwrap_or_else(|e| format!("error: {e}"))
-        }
+        Command::Scenario {
+            file,
+            seed,
+            json,
+            shards,
+        } => run_scenario(file, *seed, *json, *shards).unwrap_or_else(|e| format!("error: {e}")),
         Command::Submit {
             file,
             seed,
@@ -1067,6 +1099,7 @@ mod tests {
                 file: "exp.scn".into(),
                 seed: 7,
                 json: true,
+                shards: None,
             }
         );
         assert!(parse(&args("scenario")).is_err(), "missing file path");
@@ -1096,17 +1129,28 @@ mod tests {
             file: file.clone(),
             seed: 1,
             json: false,
+            shards: None,
         })
         .unwrap();
         assert!(text.contains("rperf"), "{text}");
         assert!(text.contains("messages delivered"), "{text}");
         let json = run(&Command::Scenario {
-            file,
+            file: file.clone(),
             seed: 1,
             json: true,
+            shards: None,
         })
         .unwrap();
         assert!(json.starts_with("{\"scenario\":\"probe\""), "{json}");
+        // Sharded execution is byte-identical to the sequential engine.
+        let sharded = run(&Command::Scenario {
+            file,
+            seed: 1,
+            json: true,
+            shards: Some(3),
+        })
+        .unwrap();
+        assert_eq!(json, sharded, "--shards must not change results");
     }
 
     #[test]
@@ -1116,6 +1160,7 @@ mod tests {
             file: "no/such/file.scn".into(),
             seed: 1,
             json: false,
+            shards: None,
         })
         .unwrap_err();
         assert!(matches!(missing, CliError::Io(_)), "{missing:?}");
@@ -1131,6 +1176,7 @@ mod tests {
             file: bad.clone(),
             seed: 1,
             json: false,
+            shards: None,
         })
         .unwrap_err();
         assert!(matches!(syntax, CliError::Spec(_)), "{syntax:?}");
@@ -1146,6 +1192,7 @@ mod tests {
             file: invalid,
             seed: 1,
             json: false,
+            shards: None,
         })
         .unwrap_err();
         assert!(matches!(semantic, CliError::Runtime(_)), "{semantic:?}");
@@ -1239,6 +1286,7 @@ mod tests {
             file: file.clone(),
             seed: 1,
             json: true,
+            shards: None,
         })
         .expect("local run");
         assert_eq!(json, local);

@@ -229,6 +229,14 @@ pub struct ScenarioSpec {
     pub topology: Topology,
     /// The traffic matrix.
     pub roles: Vec<RoleSpec>,
+    /// Worker domains for sharded execution (1 = the sequential engine).
+    ///
+    /// Results are identical for every value — sharding is a wall-clock
+    /// optimization, not a model change (see DESIGN.md §3) — so this knob
+    /// does not participate in scenario identity: [`ScenarioSpec::to_text`]
+    /// omits it at the default and cache keys built from the canonical
+    /// text stay stable across shard counts.
+    pub shards: usize,
 }
 
 impl ScenarioSpec {
@@ -244,6 +252,7 @@ impl ScenarioSpec {
             duration: SimDuration::from_ms(5),
             topology,
             roles: Vec::new(),
+            shards: 1,
         }
     }
 
@@ -284,6 +293,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the worker-domain count for sharded execution (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Checks the spec is executable: at least one role, every node and
     /// every target/peer inside the topology, no node claimed twice, and
     /// no self-targeting flow.
@@ -298,6 +313,9 @@ impl ScenarioSpec {
         }
         if self.duration == SimDuration::ZERO {
             return Err("the measurement window must be non-zero".into());
+        }
+        if self.shards == 0 || self.shards > 64 {
+            return Err(format!("shards must be in 1..=64, got {}", self.shards));
         }
         let mut claimed = vec![false; hosts];
         for r in &self.roles {
@@ -665,6 +683,7 @@ impl ScenarioSpec {
                 "duration_ps",
                 "duration_us",
                 "duration_ms",
+                "shards",
             ],
         )?;
 
@@ -705,6 +724,10 @@ impl ScenarioSpec {
         };
         let warmup = duration_from(&top, "warmup", SimDuration::from_us(200))?;
         let duration = duration_from(&top, "duration", SimDuration::from_ms(5))?;
+        let shards = match top.get("shards") {
+            None => 1,
+            Some((line, v)) => expect_int(line, "shards", v)? as usize,
+        };
 
         let Some(topology) = topology else {
             return err(text.lines().count().max(1), "missing [topology] section");
@@ -724,6 +747,7 @@ impl ScenarioSpec {
             duration,
             topology,
             roles,
+            shards,
         })
     }
 
@@ -757,6 +781,12 @@ impl ScenarioSpec {
         let _ = writeln!(out, "qos = \"{qos}\"");
         let _ = writeln!(out, "warmup_ps = {}", self.warmup.as_ps());
         let _ = writeln!(out, "duration_ps = {}", self.duration.as_ps());
+        // Emitted only away from the default: sharding never changes
+        // results, so the canonical text (and every cache key derived
+        // from it) is shard-agnostic unless a spec opts in explicitly.
+        if self.shards != 1 {
+            let _ = writeln!(out, "shards = {}", self.shards);
+        }
 
         let _ = writeln!(out, "\n[topology]");
         match &self.topology {
@@ -915,6 +945,40 @@ kind = "sink"
         let text = spec.to_text();
         let back = ScenarioSpec::parse(&text).unwrap();
         assert_eq!(spec, back, "canonical text form must round-trip:\n{text}");
+    }
+
+    #[test]
+    fn shards_knob_parses_validates_and_roundtrips() {
+        let spec = ScenarioSpec::parse(GAMING).unwrap();
+        assert_eq!(spec.shards, 1, "shards defaults to the sequential engine");
+        assert!(
+            !spec.to_text().contains("shards"),
+            "the default must stay out of the canonical text (cache keys)"
+        );
+
+        let sharded = spec.clone().with_shards(4);
+        let text = sharded.to_text();
+        assert!(text.contains("shards = 4"), "{text}");
+        let back = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(back, sharded, "non-default shards must round-trip");
+        back.validate().unwrap();
+
+        assert!(
+            spec.clone()
+                .with_shards(0)
+                .validate()
+                .unwrap_err()
+                .contains("shards"),
+            "shards = 0 must be rejected"
+        );
+        assert!(
+            spec.clone()
+                .with_shards(65)
+                .validate()
+                .unwrap_err()
+                .contains("shards"),
+            "shards > 64 must be rejected"
+        );
     }
 
     #[test]

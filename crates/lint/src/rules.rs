@@ -19,12 +19,13 @@
 //! | D7 | every `pub fn` in the event-API crate documents its contract |
 //! | D8 | no environment reads (`env::var`) in result-producing paths |
 //! | D9 | blocking sockets in the serving layer carry finite timeouts |
+//! | D10 | cross-shard state travels only through the sim mailbox (no ad-hoc shared-mutable sync in shard-executed crates) |
 
 use crate::config::{Config, RuleCfg};
 use crate::lexer::{lex, TokKind, Token};
 
 /// Every rule id the engine implements.
-pub const KNOWN_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9"];
+pub const KNOWN_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10"];
 
 /// The built-in fix hint for `id`.
 pub fn default_hint(id: &str) -> &'static str {
@@ -38,6 +39,7 @@ pub fn default_hint(id: &str) -> &'static str {
         "D7" => "event-API callers rely on documented (time, seq) FIFO ordering; add a doc comment stating the ordering contract",
         "D8" => "environment variables make results depend on the shell; thread configuration through explicit arguments",
         "D9" => "a blocking socket read with no timeout lets one stalled peer wedge the thread forever; call set_read_timeout(Some(..))/set_write_timeout(Some(..)) right after accept/connect",
+        "D10" => "shard worker domains may exchange state only through rperf_sim::shard::Mailbox envelopes, which the window scheduler merges in (time, seq) order; ad-hoc shared-mutable sync is a side channel the deterministic merge never sees",
         _ => "see DESIGN.md §5",
     }
 }
@@ -269,6 +271,7 @@ pub fn run_rules(file: &SourceFile, config: &Config) -> Vec<Diagnostic> {
             "D7" => d7_doc_contracts(file, rule, &mut out),
             "D8" => d8_env_reads(file, rule, &mut out),
             "D9" => d9_socket_timeouts(file, rule, &mut out),
+            "D10" => d10_shard_side_channels(file, rule, &mut out),
             _ => {}
         }
     }
@@ -660,6 +663,39 @@ fn d9_socket_timeouts(file: &SourceFile, cfg: &RuleCfg, out: &mut Vec<Diagnostic
     }
 }
 
+/// D10: code that runs inside shard worker domains (the fabric crate)
+/// must exchange cross-shard state only through the
+/// `rperf_sim::shard::Mailbox` envelopes that the window scheduler
+/// merges in `(time, seq)` order at window boundaries. Any ad-hoc
+/// shared-mutable synchronization — `Mutex`/`RwLock` guards, `mpsc`
+/// channels, `RefCell`/`Cell` interior mutability — is a side channel
+/// the deterministic merge never sees, so whatever flows through it
+/// depends on thread scheduling. Atomics are deliberately not flagged:
+/// the fabric's global counters (`events_processed_total`, slab
+/// high-water) are monotonic telemetry folded after the run, not
+/// simulation state.
+fn d10_shard_side_channels(file: &SourceFile, cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    const SIDE_CHANNELS: [&str; 5] = ["Mutex", "RwLock", "RefCell", "Cell", "mpsc"];
+    for s in 0..file.sig.len() {
+        if file.test_at(s) {
+            continue;
+        }
+        let t = &file.tokens[file.sig[s]];
+        if let Some(name) = SIDE_CHANNELS.iter().copied().find(|&n| t.is_ident(n)) {
+            out.push(file.diag(
+                "D10",
+                t,
+                format!(
+                    "shared-mutable sync primitive `{name}` in shard-executed crate `{}`; \
+                     cross-shard state must travel through the mailbox",
+                    file.crate_key
+                ),
+                cfg,
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -808,6 +844,37 @@ fn private_needs_no_doc() {}
         assert!(run(
             "#[cfg(test)]\nmod tests { fn f(s: &TcpStream) { s.read(&mut b).ok(); } }",
             &["D9"],
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d10_flags_side_channels_not_mailbox_or_atomics() {
+        let diags = run(
+            "use std::sync::Mutex;\nfn f() { let (tx, rx) = mpsc::channel(); }",
+            &["D10"],
+        );
+        assert_eq!(diags.len(), 2, "{diags:#?}");
+        assert!(diags[0].msg.contains("`Mutex`"));
+        assert!(diags[1].msg.contains("`mpsc`"));
+        // RefCell and Cell are interior-mutability side channels too.
+        assert_eq!(
+            run("fn f(c: &RefCell<u64>, d: &Cell<u8>) {}", &["D10"]).len(),
+            2
+        );
+        // The mailbox API and telemetry atomics are the sanctioned paths.
+        assert!(run(
+            "use rperf_sim::shard::Mailbox;\n\
+             static EVENTS: AtomicU64 = AtomicU64::new(0);\n\
+             fn f(m: &Mailbox<Envelope>) { m.post(0, e); }",
+            &["D10"],
+        )
+        .is_empty());
+        // Strings, comments, and test regions never fire.
+        assert!(run("// Mutex\nfn f() { g(\"Mutex\"); }", &["D10"]).is_empty());
+        assert!(run(
+            "#[cfg(test)]\nmod tests { use std::sync::Mutex; }",
+            &["D10"],
         )
         .is_empty());
     }

@@ -1,0 +1,20 @@
+//! D10 bad: shard worker code sharing state through ad-hoc sync
+//! primitives instead of the mailbox.
+
+use std::sync::{mpsc, Mutex};
+
+/// Cross-shard completions shoved through a mutex-guarded vec: whatever
+/// order workers grab the lock in becomes the result order.
+pub static COMPLETIONS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// A raw channel between shard workers bypasses the `(time, seq)`
+/// window merge entirely.
+pub fn side_channel() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}
+
+/// Interior mutability smuggled into a shard domain.
+pub struct SharedCursor {
+    /// Position other shards mutate behind the partitioner's back.
+    pub pos: std::cell::Cell<u64>,
+}

@@ -1,0 +1,18 @@
+//! D10 good: cross-shard traffic goes through the sim mailbox, which
+//! the window scheduler drains and merges in `(time, seq)` order; the
+//! only shared state is monotonic telemetry atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rperf_sim::shard::Mailbox;
+
+/// Events handled across all shards — telemetry folded after the run,
+/// never read back into simulation state.
+pub static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Posts one envelope to the destination shard's mailbox. Delivery
+/// order is fixed by the envelope key, not by thread scheduling.
+pub fn forward(grid: &Mailbox<u64>, dest: usize, envelope: u64) {
+    grid.post(dest, envelope);
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Sharded-execution smoke (`make shard-smoke`; DESIGN.md §3.7).
+#
+# Two checks:
+#
+# 1. Byte-identity — always. The large fanout_30 scenario and both
+#    example scenarios must emit identical JSON at --shards 1 and
+#    --shards 4: sharding is an execution strategy, never part of the
+#    result.
+#
+# 2. Speedup floor — only on hosts with >= 4 CPUs. The sharded
+#    fanout_30 run must beat the sequential one by at least
+#    SHARD_SMOKE_MIN_SPEEDUP x wall-clock (best of 3 runs each, so one
+#    scheduler hiccup cannot fail the gate). On smaller hosts the
+#    conservative window barriers can only add overhead — four worker
+#    threads time-slicing one core turn every barrier into context
+#    switches — so the floor is skipped there, not faked.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI=${CLI:-target/release/rperf-cli}
+MIN_SPEEDUP=${SHARD_SMOKE_MIN_SPEEDUP:-2.0}
+TMP=${TMPDIR:-/tmp}
+
+if [ ! -x "$CLI" ]; then
+    echo "shard-smoke: building rperf-cli" >&2
+    cargo build --release -q -p rperf-cli
+fi
+
+echo "shard-smoke: byte-identity, --shards 1 vs --shards 4" >&2
+for scn in fanout_30 incast_8 chain_gaming; do
+    "$CLI" scenario "examples/scenarios/$scn.scn" --json >"$TMP/rperf_${scn}_s1.json"
+    "$CLI" scenario "examples/scenarios/$scn.scn" --json --shards 4 >"$TMP/rperf_${scn}_s4.json"
+    cmp "$TMP/rperf_${scn}_s1.json" "$TMP/rperf_${scn}_s4.json"
+    echo "  $scn: identical" >&2
+done
+
+ncpu=$(nproc)
+if [ "$ncpu" -lt 4 ]; then
+    echo "shard-smoke: $ncpu CPU(s) < 4 — speedup floor skipped (identity checked)" >&2
+    exit 0
+fi
+
+# Best-of-3 wall nanoseconds for `scenario fanout_30 [extra args]`.
+best_ns() {
+    local best=""
+    local t0 t1 dt
+    for _ in 1 2 3; do
+        t0=$(date +%s%N)
+        "$CLI" scenario examples/scenarios/fanout_30.scn --json "$@" >/dev/null
+        t1=$(date +%s%N)
+        dt=$((t1 - t0))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+    done
+    echo "$best"
+}
+
+seq_ns=$(best_ns)
+par_ns=$(best_ns --shards 4)
+awk -v s="$seq_ns" -v p="$par_ns" -v m="$MIN_SPEEDUP" 'BEGIN {
+    speedup = s / p
+    printf "shard-smoke: fanout_30 sequential %.3f s, --shards 4 %.3f s: %.2fx (floor %.2fx)\n",
+        s / 1e9, p / 1e9, speedup, m
+    exit !(speedup >= m)
+}' >&2 || {
+    echo "shard-smoke: FAILED the speedup floor (tune SHARD_SMOKE_MIN_SPEEDUP to re-gate)" >&2
+    exit 1
+}
+echo "shard-smoke: ok" >&2
