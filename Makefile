@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint lint-invariants sanitize-smoke build test bench bench-smoke bench-bless prof-report report quick-report scenario-smoke shard-smoke perf-gate serve serve-smoke
+.PHONY: ci fmt lint lint-invariants sanitize-smoke build test bench bench-smoke bench-bless prof-report report quick-report scenario-smoke shard-smoke clos-smoke perf-gate serve serve-smoke
 
-ci: fmt lint lint-invariants build test shard-smoke perf-gate
+ci: fmt lint lint-invariants build test shard-smoke clos-smoke perf-gate
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -111,6 +111,18 @@ SHARD_SMOKE_MIN_SPEEDUP ?= 2.0
 shard-smoke:
 	$(CARGO) test -q --release -p rperf-bench --test shard_differential -- --include-ignored
 	SHARD_SMOKE_MIN_SPEEDUP=$(SHARD_SMOKE_MIN_SPEEDUP) bash scripts/shard_smoke.sh
+
+# Fat-tree/Clos smoke, three gates (scripts/clos_smoke.sh):
+#  1. both committed fat-tree example scenarios run end-to-end from
+#     their spec files alone and `--dump-routes` prints byte-identical
+#     per-switch tables on repeated invocations;
+#  2. a generated 128-host k=8 leaf-spine incast is byte-identical
+#     between --shards 1 and --shards 4;
+#  3. on hosts with >= 4 CPUs the sharded k=8 run must beat the
+#     sequential one by CLOS_SMOKE_MIN_SPEEDUP x wall-clock.
+CLOS_SMOKE_MIN_SPEEDUP ?= 1.5
+clos-smoke:
+	CLOS_SMOKE_MIN_SPEEDUP=$(CLOS_SMOKE_MIN_SPEEDUP) bash scripts/clos_smoke.sh
 
 # Runs the scenario service in the foreground on the default port
 # (stop it with `rperf-cli serve-stats --shutdown`).

@@ -1,6 +1,6 @@
 //! Regenerates any paper figure from one binary.
 //!
-//! Usage: `figure --fig <4..13|all> [--quick] [--jobs N] [--seeds N]
+//! Usage: `figure --fig <4..13|clos|all> [--quick] [--jobs N] [--seeds N]
 //!         [--scale F] [--json]`
 //!
 //! Replaces the former per-figure binaries (`fig4` … `fig13`); the
@@ -56,7 +56,7 @@ fn main() {
 
     let Some(fig) = fig else {
         eprintln!(
-            "usage: figure --fig <4..13|all> [--quick] [--jobs N] [--seeds N] [--scale F] [--json]"
+            "usage: figure --fig <4..13|clos|all> [--quick] [--jobs N] [--seeds N] [--scale F] [--json]"
         );
         std::process::exit(2);
     };
@@ -68,7 +68,7 @@ fn main() {
 
     for id in ids {
         let Some(figs) = figures::by_id(id, &effort) else {
-            eprintln!("unknown figure id `{id}` (expected 4..13 or all)");
+            eprintln!("unknown figure id `{id}` (expected 4..13, clos, or all)");
             std::process::exit(2);
         };
         for f in figs {

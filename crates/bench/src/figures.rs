@@ -22,11 +22,16 @@ pub const PAYLOADS: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
 
 /// Executes a scenario table with the figure's measurement window (scaled
 /// by the effort level) and the given seed.
+///
+/// `--shards` is a global knob over scenarios of very different sizes, so
+/// it is clamped to each table's device count (specs reject over-sharding
+/// outright; a figure sweep just uses as many domains as the fabric has).
 fn run(table: ScenarioSpec, effort: &Effort, base_ms: f64, seed: u64) -> ScenarioOutcome {
+    let devices = table.topology.hosts() + table.topology.switches();
     execute(
         &table
             .with_duration(effort.window(base_ms))
-            .with_shards(effort.shards),
+            .with_shards(effort.shards.min(devices)),
         seed,
     )
 }
@@ -516,7 +521,104 @@ pub fn fig13(effort: &Effort) -> Figure {
     fig
 }
 
-/// Runs the generator(s) behind one paper figure id (`"4"` … `"13"`).
+/// The hop depths `fig_clos` probes: same edge switch, same pod, and
+/// cross-pod in a 3-tier `k = 4` fat-tree.
+pub const CLOS_HOPS: [u32; 3] = [1, 3, 5];
+
+/// `fig_clos` — the Clos scale-out experiment: RTT of an RPerf victim
+/// flow crossing 1, 3 or 5 switches of a routed 3-tier `k = 4` fat-tree
+/// while 0–4 bulk flows converge on the victim's destination from remote
+/// edges. Answers the ROADMAP scale-out question: is the ~5 µs-per-BSG
+/// slope measured through one switch additive across hops, or does the
+/// last-hop bottleneck dominate regardless of path length?
+pub fn fig_clos(effort: &Effort) -> Figure {
+    let mut fig = Figure::new(
+        "fig_clos",
+        "RTT of a victim flow at 1/3/5 fat-tree hops under converging BSGs",
+        "Number of BSGs",
+        "RTT of victim (us)",
+    );
+    const MAX_BSGS: usize = 4;
+    let params: Vec<(u32, usize)> = CLOS_HOPS
+        .iter()
+        .flat_map(|&h| (0..=MAX_BSGS).map(move |n| (h, n)))
+        .collect();
+    let points = sweep_over_seeds(
+        effort,
+        &params,
+        |&(hops, n), seed| {
+            let out = run(specs::clos_victim(hops, n), effort, 10.0, seed);
+            let victim = converged_outcome(&out).lsg.expect("victim present").summary;
+            (victim.p50_us(), victim.p999_us())
+        },
+        |&(hops, n), per_seed| {
+            let (p50s, p999s): (Vec<f64>, Vec<f64>) = per_seed.into_iter().unzip();
+            (hops, n, mean(&p50s), mean(&p999s))
+        },
+    );
+    let mut by_hop: Vec<(Series, Series)> = CLOS_HOPS
+        .iter()
+        .map(|h| {
+            let unit = if *h == 1 { "hop" } else { "hops" };
+            (
+                Series::new(format!("50th ({h} {unit})")),
+                Series::new(format!("99.9th ({h} {unit})")),
+            )
+        })
+        .collect();
+    for (hops, n, p50, p999) in points {
+        let idx = CLOS_HOPS.iter().position(|&h| h == hops).unwrap();
+        by_hop[idx].0.push(n as f64, p50);
+        by_hop[idx].1.push(n as f64, p999);
+    }
+    for (s50, s999) in by_hop {
+        fig.add_series(s50);
+        fig.add_series(s999);
+    }
+    fig
+}
+
+/// The 128-host scale row of the `report` binary (not a paper figure
+/// and not addressable through [`by_id`]): victim RTT across the spine
+/// of a `k = 8`, `o = 2` leaf–spine — 128 hosts, 16 twelve-port leaves,
+/// 4 sixteen-port spines — while 0/4/8 bulk flows converge on the
+/// victim's destination from remote leaves. Exercises the largest
+/// routed fabric in the suite end to end and feeds its events/sec into
+/// BENCH_report.json.
+pub fn fattree128(effort: &Effort) -> Figure {
+    let mut fig = Figure::new(
+        "fattree128",
+        "Victim RTT across a 128-host leaf-spine (k=8, o=2) under incast",
+        "Number of BSGs",
+        "RTT of victim (us)",
+    );
+    const BSGS: [usize; 3] = [0, 4, 8];
+    let points = sweep_over_seeds(
+        effort,
+        &BSGS,
+        |&n, seed| {
+            let out = run(specs::fattree_incast(8, 2, 2, n), effort, 10.0, seed);
+            let victim = converged_outcome(&out).lsg.expect("victim present").summary;
+            (victim.p50_us(), victim.p999_us())
+        },
+        |&n, per_seed| {
+            let (p50s, p999s): (Vec<f64>, Vec<f64>) = per_seed.into_iter().unzip();
+            (n, mean(&p50s), mean(&p999s))
+        },
+    );
+    let mut s50 = Series::new("50th");
+    let mut s999 = Series::new("99.9th");
+    for (n, p50, p999) in points {
+        s50.push(n as f64, p50);
+        s999.push(n as f64, p999);
+    }
+    fig.add_series(s50);
+    fig.add_series(s999);
+    fig
+}
+
+/// Runs the generator(s) behind one figure id (`"4"` … `"13"`, or
+/// `"clos"` for the fat-tree scale-out experiment).
 ///
 /// Figure 7 produces two figures (7a and 7b) from one sweep; 8 and 9 share
 /// a sweep but are addressed separately. Returns `None` for unknown ids.
@@ -535,12 +637,14 @@ pub fn by_id(id: &str, effort: &Effort) -> Option<Vec<Figure>> {
         "11" => vec![fig11(effort)],
         "12" => vec![fig12(effort)],
         "13" => vec![fig13(effort)],
+        "clos" => vec![fig_clos(effort)],
         _ => return None,
     })
 }
 
-/// Every figure id [`by_id`] accepts, in paper order.
-pub const FIGURE_IDS: [&str; 10] = ["4", "5", "6", "7", "8", "9", "10", "11", "12", "13"];
+/// Every figure id [`by_id`] accepts: the paper figures in paper order,
+/// then the suite's scale-out extensions.
+pub const FIGURE_IDS: [&str; 11] = ["4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "clos"];
 
 #[cfg(test)]
 mod tests {
@@ -566,6 +670,47 @@ mod tests {
         for s in &fig.series {
             assert!(s.y.windows(2).all(|w| w[1] >= w[0] * 0.95));
         }
+    }
+
+    #[test]
+    fn fig_clos_probes_every_hop_depth() {
+        let fig = fig_clos(&tiny());
+        // Two series (p50, p999) per hop depth, five BSG counts each.
+        assert_eq!(fig.series.len(), 2 * CLOS_HOPS.len());
+        for s in &fig.series {
+            assert_eq!(s.len(), 5);
+        }
+        // Zero-load p50 grows with path length: each extra switch pair
+        // adds pipeline + arbitration latency to the round trip.
+        let p50_at_zero: Vec<f64> = (0..CLOS_HOPS.len())
+            .map(|i| fig.series[2 * i].y[0])
+            .collect();
+        assert!(
+            p50_at_zero[0] < p50_at_zero[1] && p50_at_zero[1] < p50_at_zero[2],
+            "zero-load RTT must grow with hops: {p50_at_zero:?}"
+        );
+    }
+
+    #[test]
+    fn fattree128_runs_the_leaf_spine_at_scale() {
+        let effort = Effort {
+            seeds: vec![1],
+            scale: 0.03,
+            jobs: 1,
+            shards: 1,
+        };
+        let fig = fattree128(&effort);
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert_eq!(s.len(), 3, "three BSG counts");
+            assert!(s.y.iter().all(|&y| y > 0.0), "{:?}", s.y);
+        }
+        // Loaded spine crossings cannot beat the unloaded one.
+        let p50 = &fig.series[0].y;
+        assert!(
+            p50[2] >= p50[0],
+            "8-BSG incast cannot speed the victim up: {p50:?}"
+        );
     }
 
     #[test]

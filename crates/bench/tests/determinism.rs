@@ -39,7 +39,7 @@ fn converged_sweep_is_byte_identical_across_worker_counts() {
 /// binary at `--seeds 2 --scale 0.05 --jobs 1 --json` before the figures
 /// moved onto the declarative scenario-spec path. The spec-driven
 /// executor must reproduce each byte, serially and in parallel.
-const GOLDEN: [(&str, &str); 10] = [
+const GOLDEN: [(&str, &str); 11] = [
     ("4", include_str!("golden/fig4.json")),
     ("5", include_str!("golden/fig5.json")),
     ("6", include_str!("golden/fig6.json")),
@@ -50,6 +50,7 @@ const GOLDEN: [(&str, &str); 10] = [
     ("11", include_str!("golden/fig11.json")),
     ("12", include_str!("golden/fig12.json")),
     ("13", include_str!("golden/fig13.json")),
+    ("clos", include_str!("golden/fig_clos.json")),
 ];
 
 fn rendered(id: &str, jobs: usize) -> String {

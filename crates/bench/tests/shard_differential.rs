@@ -21,7 +21,7 @@
 
 use rperf_bench::{figures, Effort};
 
-const GOLDEN: [(&str, &str); 10] = [
+const GOLDEN: [(&str, &str); 11] = [
     ("4", include_str!("golden/fig4.json")),
     ("5", include_str!("golden/fig5.json")),
     ("6", include_str!("golden/fig6.json")),
@@ -32,6 +32,7 @@ const GOLDEN: [(&str, &str); 10] = [
     ("11", include_str!("golden/fig11.json")),
     ("12", include_str!("golden/fig12.json")),
     ("13", include_str!("golden/fig13.json")),
+    ("clos", include_str!("golden/fig_clos.json")),
 ];
 
 fn tiny(shards: usize) -> Effort {

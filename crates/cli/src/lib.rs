@@ -119,6 +119,9 @@ pub enum Command {
         /// the spec file says (default 1, the sequential engine).
         /// Results are identical either way — this is a wall-clock knob.
         shards: Option<usize>,
+        /// Print the per-switch forwarding tables the subnet planner
+        /// programmed for the spec's topology instead of running it.
+        dump_routes: bool,
     },
     /// Submit a scenario-spec file to a running `rperf-serve` daemon.
     Submit {
@@ -283,6 +286,7 @@ COMMANDS:
     chain      switch-chain extension  [--switches N] [--bsgs N]
     sweep      payload sweep 64B-4096B [--what lat|bw] [--no-switch] [--seeds N]
     scenario   run a spec file         <FILE> [--seed N] [--json] [--shards N]
+                                       [--dump-routes]
     submit     send a spec file to a running rperf-serve daemon
                                        <FILE> [--seed N] [--addr HOST:PORT]
                                        [--attempts N] [--timeout-ms N]
@@ -301,6 +305,8 @@ COMMON OPTIONS:
                       any value gives identical output)
     --shards N        (scenario only) worker domains inside one run;
                       any value gives identical output
+    --dump-routes     (scenario only) print the per-switch forwarding
+                      tables for the spec's topology instead of running
 ";
 
 fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, ParseError> {
@@ -332,6 +338,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         let mut seed = 1u64;
         let mut json = false;
         let mut shards = None;
+        let mut dump_routes = false;
         let mut i = 2;
         while i < args.len() {
             match args[i].as_str() {
@@ -341,6 +348,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
                 "--json" => {
                     json = true;
+                    i += 1;
+                }
+                "--dump-routes" => {
+                    dump_routes = true;
                     i += 1;
                 }
                 "--shards" => {
@@ -359,6 +370,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             seed,
             json,
             shards,
+            dump_routes,
         });
     }
     // `submit` mirrors `scenario` but sends the spec to a daemon.
@@ -611,12 +623,19 @@ fn run_scenario(
     seed: u64,
     json: bool,
     shards: Option<usize>,
+    dump_routes: bool,
 ) -> Result<String, CliError> {
     let text = std::fs::read_to_string(file).map_err(|e| CliError::Io(format!("{file}: {e}")))?;
     // `ParseError` renders as `line N: msg`; prefixing the path yields the
     // compiler-style `file:line N: msg` the smoke test greps for.
     let mut spec =
         rperf::ScenarioSpec::parse(&text).map_err(|e| CliError::Spec(format!("{file}:{e}")))?;
+    if dump_routes {
+        // Routing is a property of the topology alone, so the role-table
+        // validation is skipped: a spec with nothing but a `[topology]`
+        // section dumps fine. Parse failures above keep exit code 2.
+        return Ok(rperf::dump_routes(&spec, seed));
+    }
     if let Some(shards) = shards {
         spec.shards = shards;
     }
@@ -742,7 +761,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             seed,
             json,
             shards,
-        } => run_scenario(file, *seed, *json, *shards),
+            dump_routes,
+        } => run_scenario(file, *seed, *json, *shards, *dump_routes),
         Command::Submit {
             file,
             seed,
@@ -766,7 +786,9 @@ pub fn execute(cmd: &Command) -> String {
             seed,
             json,
             shards,
-        } => run_scenario(file, *seed, *json, *shards).unwrap_or_else(|e| format!("error: {e}")),
+            dump_routes,
+        } => run_scenario(file, *seed, *json, *shards, *dump_routes)
+            .unwrap_or_else(|e| format!("error: {e}")),
         Command::Submit {
             file,
             seed,
@@ -1100,6 +1122,18 @@ mod tests {
                 seed: 7,
                 json: true,
                 shards: None,
+                dump_routes: false,
+            }
+        );
+        let cmd = parse(&args("scenario exp.scn --dump-routes")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Scenario {
+                file: "exp.scn".into(),
+                seed: 1,
+                json: false,
+                shards: None,
+                dump_routes: true,
             }
         );
         assert!(parse(&args("scenario")).is_err(), "missing file path");
@@ -1130,6 +1164,7 @@ mod tests {
             seed: 1,
             json: false,
             shards: None,
+            dump_routes: false,
         })
         .unwrap();
         assert!(text.contains("rperf"), "{text}");
@@ -1139,6 +1174,7 @@ mod tests {
             seed: 1,
             json: true,
             shards: None,
+            dump_routes: false,
         })
         .unwrap();
         assert!(json.starts_with("{\"scenario\":\"probe\""), "{json}");
@@ -1148,9 +1184,44 @@ mod tests {
             seed: 1,
             json: true,
             shards: Some(3),
+            dump_routes: false,
         })
         .unwrap();
         assert_eq!(json, sharded, "--shards must not change results");
+    }
+
+    #[test]
+    fn dump_routes_prints_tables_without_running() {
+        // A topology-only spec is enough: no roles, no duration.
+        let file = scratch_file(
+            "cli_routes.scn",
+            "name = \"clos\"\n\n[topology]\nkind = \"fattree\"\nk = 4\ntiers = 3\n",
+        );
+        let dump = |file: String| {
+            run(&Command::Scenario {
+                file,
+                seed: 1,
+                json: false,
+                shards: None,
+                dump_routes: true,
+            })
+        };
+        let text = dump(file.clone()).expect("route dump");
+        assert!(text.contains("hosts=16  switches=20"), "{text}");
+        assert!(text.contains("switch 19  entries=16"), "{text}");
+        assert!(text.contains("lid1 -> port0"), "{text}");
+        // Deterministic output.
+        assert_eq!(text, dump(file).unwrap());
+
+        // A syntax error keeps the exit-2 Spec contract.
+        let bad = scratch_file(
+            "cli_routes_bad.scn",
+            "[topology]\nkind = \"fattree\"\nk = 5\n",
+        );
+        let err = dump(bad).unwrap_err();
+        assert!(matches!(err, CliError::Spec(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("line 3"), "{err}");
     }
 
     #[test]
@@ -1161,6 +1232,7 @@ mod tests {
             seed: 1,
             json: false,
             shards: None,
+            dump_routes: false,
         })
         .unwrap_err();
         assert!(matches!(missing, CliError::Io(_)), "{missing:?}");
@@ -1177,6 +1249,7 @@ mod tests {
             seed: 1,
             json: false,
             shards: None,
+            dump_routes: false,
         })
         .unwrap_err();
         assert!(matches!(syntax, CliError::Spec(_)), "{syntax:?}");
@@ -1193,6 +1266,7 @@ mod tests {
             seed: 1,
             json: false,
             shards: None,
+            dump_routes: false,
         })
         .unwrap_err();
         assert!(matches!(semantic, CliError::Runtime(_)), "{semantic:?}");
@@ -1287,6 +1361,7 @@ mod tests {
             seed: 1,
             json: true,
             shards: None,
+            dump_routes: false,
         })
         .expect("local run");
         assert_eq!(json, local);

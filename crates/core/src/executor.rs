@@ -511,6 +511,41 @@ pub fn execute_budgeted_with_config(
     })
 }
 
+/// Renders every switch's programmed forwarding table as deterministic
+/// text — ascending switch index, ascending LID within each switch.
+///
+/// Builds the same fabric [`execute`] would (profile, policy and QoS
+/// applied) but attaches no applications and runs nothing, so a spec
+/// needs only a topology: roles are irrelevant to routing and are not
+/// validated here. The output is stable across runs, `--jobs` and
+/// `--shards` — routing is computed by the deterministic subnet planner,
+/// never discovered at run time.
+pub fn dump_routes(spec: &ScenarioSpec, seed: u64) -> String {
+    let mut cfg = spec.profile.cluster_config().with_policy(spec.policy);
+    if spec.qos != QosMode::SharedSl {
+        cfg = cfg.with_dedicated_sl();
+    }
+    let fabric = FabricBuilder::new(cfg, seed).build(&spec.topology);
+    let mut text = format!(
+        "scenario {}  hosts={}  switches={}",
+        spec.name,
+        fabric.nodes(),
+        fabric.switches_len(),
+    );
+    if fabric.switches_len() == 0 {
+        text.push_str("\n(no switches: the hosts are cabled back-to-back)");
+        return text;
+    }
+    for idx in 0..fabric.switches_len() {
+        let fwd = fabric.switch(idx).forwarding();
+        text.push_str(&format!("\nswitch {idx}  entries={}", fwd.len()));
+        for (lid, port) in fwd.entries() {
+            text.push_str(&format!("\n  {lid} -> {port}"));
+        }
+    }
+    text
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,5 +634,42 @@ mod tests {
     fn invalid_specs_are_rejected() {
         let bad = ScenarioSpec::new("bad", Topology::DirectPair).with_role(9, Role::Sink);
         let _ = execute(&bad, 1);
+    }
+
+    #[test]
+    fn dump_routes_lists_every_switch_in_order() {
+        use rperf_subnet::FatTreeParams;
+        // k=4 three-tier Clos: 16 hosts, 20 switches, roles not required.
+        let ft = FatTreeParams::new(4, 3, 1);
+        let spec = ScenarioSpec::new("clos", Topology::FatTree(ft));
+        let text = dump_routes(&spec, 1);
+        assert!(
+            text.starts_with("scenario clos  hosts=16  switches=20"),
+            "{text}"
+        );
+        // Every switch appears once, in ascending order, with a full table.
+        for idx in 0..20 {
+            assert!(
+                text.contains(&format!("\nswitch {idx}  entries=16")),
+                "{text}"
+            );
+        }
+        // Entries are ascending LIDs mapped to planner ports.
+        let edge0 = text
+            .split("switch 0  entries=16")
+            .nth(1)
+            .unwrap()
+            .split("switch 1")
+            .next()
+            .unwrap();
+        assert!(edge0.contains("lid1 -> port0"), "{edge0}");
+        assert!(edge0.contains("lid2 -> port1"), "{edge0}");
+        // The dump is deterministic.
+        assert_eq!(text, dump_routes(&spec, 1));
+
+        // Switchless topologies say so instead of printing nothing.
+        let pair = ScenarioSpec::new("pair", Topology::DirectPair);
+        let text = dump_routes(&pair, 1);
+        assert!(text.contains("no switches"), "{text}");
     }
 }

@@ -43,8 +43,8 @@ pub mod scenario;
 pub mod spec;
 
 pub use executor::{
-    execute, execute_budgeted, execute_budgeted_with_config, execute_with_config, ExecBudget,
-    ExecInterrupt, RoleReport, ScenarioOutcome,
+    dump_routes, execute, execute_budgeted, execute_budgeted_with_config, execute_with_config,
+    ExecBudget, ExecInterrupt, RoleReport, ScenarioOutcome,
 };
 pub use perftest::{PerftestClient, PerftestConfig, PingPongServer};
 pub use qperf::{QperfClient, QperfConfig, QperfReport};

@@ -301,6 +301,94 @@ pub mod specs {
         }
         spec.with_role(dest, Role::Sink)
     }
+
+    /// The Clos victim setup (`fig_clos`): an RPerf-instrumented victim
+    /// flow crossing `hops` switches (1, 3 or 5) of a 3-tier `k = 4`
+    /// fat-tree while `n_bsgs` bulk flows converge on the same
+    /// destination from maximally remote edges (pod-aware placement via
+    /// `rperf_workloads::incast_sources`). Probes whether the per-BSG
+    /// latency slope measured through one switch stays additive across
+    /// a routed multi-hop fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric has no pair at `hops` or too few hosts for
+    /// `n_bsgs` sources (the k = 4 tree offers 16 hosts).
+    pub fn clos_victim(hops: u32, n_bsgs: usize) -> ScenarioSpec {
+        let ft = rperf_subnet::FatTreeParams::new(4, 3, 1);
+        let (src, dst) = rperf_workloads::pair_at_hops(&ft, hops)
+            .unwrap_or_else(|| panic!("no host pair at {hops} hops in a k=4 fat-tree"));
+        let mut spec = ScenarioSpec::new("clos-victim", Topology::FatTree(ft)).with_role(
+            src,
+            Role::RPerf {
+                target: dst,
+                payload: 64,
+                sl: SlSpec::Auto,
+                seed_salt: 0xC105,
+            },
+        );
+        // Draw two spares so the victim source can be skipped without
+        // shorting the BSG count.
+        let sources = rperf_workloads::incast_sources(&ft, dst, n_bsgs + 2);
+        for b in sources.into_iter().filter(|&h| h != src).take(n_bsgs) {
+            spec = spec.with_role(
+                b,
+                Role::Bsg {
+                    target: dst,
+                    payload: 4096,
+                    window: 128,
+                    batch: 1,
+                    sl: SlSpec::Auto,
+                },
+            );
+        }
+        spec.with_role(dst, Role::Sink)
+    }
+
+    /// Scale-out incast on an arbitrary fat-tree: `n_bsgs` bulk flows
+    /// converge from maximally remote edges on the destination of a
+    /// cross-fabric RPerf victim pair (maximum hop count for the tier
+    /// count: 3 on a leaf–spine, 5 on a 3-tier Clos). `k = 8, tiers = 2,
+    /// o = 2` is the 128-host leaf–spine the report's scale row runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid fat-tree parameters or if the fabric has fewer
+    /// than `n_bsgs + 2` hosts.
+    pub fn fattree_incast(
+        k: usize,
+        tiers: usize,
+        oversubscription: usize,
+        n_bsgs: usize,
+    ) -> ScenarioSpec {
+        let ft = rperf_subnet::FatTreeParams::new(k, tiers, oversubscription);
+        let hops = if tiers == 2 { 3 } else { 5 };
+        let (src, dst) = rperf_workloads::pair_at_hops(&ft, hops)
+            .unwrap_or_else(|| panic!("no {hops}-hop pair in a k={k} {tiers}-tier fat-tree"));
+        let mut spec = ScenarioSpec::new("fattree-incast", Topology::FatTree(ft)).with_role(
+            src,
+            Role::RPerf {
+                target: dst,
+                payload: 64,
+                sl: SlSpec::Auto,
+                seed_salt: 0xF128,
+            },
+        );
+        let sources = rperf_workloads::incast_sources(&ft, dst, n_bsgs + 2);
+        for b in sources.into_iter().filter(|&h| h != src).take(n_bsgs) {
+            spec = spec.with_role(
+                b,
+                Role::Bsg {
+                    target: dst,
+                    payload: 4096,
+                    window: 128,
+                    batch: 1,
+                    sl: SlSpec::Auto,
+                },
+            );
+        }
+        spec.with_role(dst, Role::Sink)
+    }
 }
 
 /// Fig. 4 data: the RTT measured by RPerf, one-to-one, with or without
@@ -379,6 +467,23 @@ pub fn chain_latency(spec: &RunSpec, n_switches: usize, bsgs_at_tail: usize) -> 
     spec.run(specs::chain_latency(n_switches, bsgs_at_tail))
         .rperf(0)
         .expect("rperf role on node 0")
+        .clone()
+}
+
+/// Clos scale-out scenario: the victim's RPerf view at `hops` switch
+/// crossings of a 3-tier fat-tree under `n_bsgs` converging bulk flows
+/// (see [`specs::clos_victim`]).
+pub fn clos_victim(spec: &RunSpec, hops: u32, n_bsgs: usize) -> RPerfReport {
+    let table = specs::clos_victim(hops, n_bsgs);
+    let src = table
+        .roles
+        .iter()
+        .find(|r| matches!(r.role, crate::spec::Role::RPerf { .. }))
+        .expect("clos_victim always places an RPerf role")
+        .node;
+    spec.run(table)
+        .rperf(src)
+        .expect("rperf report on the victim node")
         .clone()
 }
 
@@ -485,5 +590,75 @@ mod tests {
             direct.rperf(0).unwrap().summary.p999_ps
         );
         assert_eq!(wrapped.iterations, direct.rperf(0).unwrap().iterations);
+    }
+
+    #[test]
+    fn clos_victim_places_roles_pod_aware() {
+        // 1 hop: victim pair shares edge 0; 5 hops: crosses pods.
+        for (hops, src, dst) in [(1, 0usize, 1usize), (3, 0, 2), (5, 0, 4)] {
+            let table = specs::clos_victim(hops, 4);
+            table.validate().unwrap();
+            assert_eq!(table.topology.hosts(), 16);
+            assert_eq!(table.topology.switches(), 20);
+            let rperf = table
+                .roles
+                .iter()
+                .find(
+                    |r| matches!(r.role, crate::spec::Role::RPerf { target, .. } if target == dst),
+                )
+                .unwrap_or_else(|| panic!("victim {src}->{dst} missing at {hops} hops"));
+            assert_eq!(rperf.node, src);
+            let bsgs = table
+                .roles
+                .iter()
+                .filter(
+                    |r| matches!(r.role, crate::spec::Role::Bsg { target, .. } if target == dst),
+                )
+                .count();
+            assert_eq!(bsgs, 4, "exactly n_bsgs bulk flows at {hops} hops");
+        }
+    }
+
+    #[test]
+    fn clos_victim_latency_reflects_converging_load() {
+        // A short end-to-end run across the routed fat-tree: the victim
+        // completes probes at every depth, and adding bulk flows at 5
+        // hops cannot make it faster.
+        let spec = RunSpec::new(ClusterConfig::hardware())
+            .with_duration(SimDuration::from_us(500))
+            .with_seed(3);
+        let quiet = clos_victim(&spec, 5, 0);
+        assert!(quiet.iterations > 0, "victim must complete probes");
+        let loaded = clos_victim(&spec, 5, 4);
+        assert!(
+            loaded.summary.p50_us() >= quiet.summary.p50_us(),
+            "converging load cannot speed the victim up: {:.2} vs {:.2}",
+            loaded.summary.p50_us(),
+            quiet.summary.p50_us()
+        );
+    }
+
+    #[test]
+    fn fattree_incast_scales_to_the_128_host_leaf_spine() {
+        // The report's scale row: k = 8, o = 2 leaf-spine — 128 hosts
+        // behind 16 leaves and 4 spines, victim crossing the spine.
+        let table = specs::fattree_incast(8, 2, 2, 8);
+        table.validate().unwrap();
+        assert_eq!(table.topology.hosts(), 128);
+        assert_eq!(table.topology.switches(), 20);
+        assert_eq!(table.roles.len(), 10, "victim + 8 BSGs + sink");
+        // A short run completes probes end to end across the spine.
+        let out = RunSpec::new(ClusterConfig::hardware())
+            .with_duration(SimDuration::from_us(300))
+            .run(table);
+        let victim = out
+            .reports
+            .iter()
+            .find_map(|(n, r)| match r {
+                crate::executor::RoleReport::RPerf(rep) => Some((n, rep)),
+                _ => None,
+            })
+            .expect("victim report");
+        assert!(victim.1.iterations > 0, "victim completed no probes");
     }
 }

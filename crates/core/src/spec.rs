@@ -32,7 +32,7 @@ use rperf_fabric::Topology;
 use rperf_model::config::SchedPolicy;
 use rperf_model::{ClusterConfig, ServiceLevel};
 use rperf_sim::SimDuration;
-use rperf_subnet::TopologySpec;
+use rperf_subnet::{FatTreeParams, TopologySpec};
 
 /// QoS configuration of a scenario (Sections VII–VIII).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -317,6 +317,22 @@ impl ScenarioSpec {
         if self.shards == 0 || self.shards > 64 {
             return Err(format!("shards must be in 1..=64, got {}", self.shards));
         }
+        // Every worker domain needs at least one device, or
+        // `partition_devices` would produce empty shards at run time.
+        let devices = hosts + self.topology.switches();
+        if self.shards > devices {
+            return Err(format!(
+                "shards = {} exceeds the {} devices in the topology \
+                 ({} hosts + {} switches)",
+                self.shards,
+                devices,
+                hosts,
+                self.topology.switches()
+            ));
+        }
+        if let Topology::FatTree(ft) = &self.topology {
+            ft.validate()?;
+        }
         let mut claimed = vec![false; hosts];
         for r in &self.roles {
             if r.node >= hosts {
@@ -443,12 +459,13 @@ fn parse_topology(section: &Section) -> Result<Topology, SpecError> {
         "chain" => &["kind", "hosts_per_switch"],
         "star" => &["kind", "leaves", "hosts_per_leaf"],
         "custom" => &["kind", "switches", "host_attachments", "trunks"],
+        "fattree" => &["kind", "k", "tiers", "oversubscription"],
         other => {
             return err(
                 kline,
                 format!(
                     "unknown topology kind `{other}` (expected direct_pair, single_switch, \
-                     two_switch, chain, star, or custom)"
+                     two_switch, chain, star, custom, or fattree)"
                 ),
             )
         }
@@ -530,6 +547,33 @@ fn parse_topology(section: &Section) -> Result<Topology, SpecError> {
                 }
             };
             Topology::Spec(TopologySpec::custom(switches, attachments, trunks))
+        }
+        "fattree" => {
+            let opt_int = |key: &str, default: u64| -> Result<u64, SpecError> {
+                match section.get(key) {
+                    None => Ok(default),
+                    Some((line, v)) => expect_int(line, key, v),
+                }
+            };
+            let ft = FatTreeParams::new(
+                req_int("k")? as usize,
+                opt_int("tiers", 2)? as usize,
+                opt_int("oversubscription", 1)? as usize,
+            );
+            if let Err(msg) = ft.validate() {
+                // Blame the line of the offending key (falling back to the
+                // section header for defaulted keys).
+                let blame = |key: &str| section.get(key).map(|(l, _)| l).unwrap_or(header);
+                let line = if msg.contains("tiers") {
+                    blame("tiers")
+                } else if msg.contains("oversubscription") {
+                    blame("oversubscription")
+                } else {
+                    blame("k")
+                };
+                return err(line, msg);
+            }
+            Topology::FatTree(ft)
         }
         _ => unreachable!("kind validated above"),
     })
@@ -724,15 +768,29 @@ impl ScenarioSpec {
         };
         let warmup = duration_from(&top, "warmup", SimDuration::from_us(200))?;
         let duration = duration_from(&top, "duration", SimDuration::from_ms(5))?;
-        let shards = match top.get("shards") {
-            None => 1,
-            Some((line, v)) => expect_int(line, "shards", v)? as usize,
+        let (shards_line, shards) = match top.get("shards") {
+            None => (0, 1),
+            Some((line, v)) => (line, expect_int(line, "shards", v)? as usize),
         };
 
         let Some(topology) = topology else {
             return err(text.lines().count().max(1), "missing [topology] section");
         };
         let topology = parse_topology(&topology)?;
+        // Reject over-sharding at the `shards =` line rather than letting
+        // `partition_devices` produce empty worker domains at run time.
+        let devices = topology.hosts() + topology.switches();
+        if shards > devices {
+            return err(
+                shards_line,
+                format!(
+                    "shards = {shards} exceeds the {devices} devices in the topology \
+                     ({} hosts + {} switches)",
+                    topology.hosts(),
+                    topology.switches()
+                ),
+            );
+        }
         let roles = roles
             .iter()
             .map(parse_role)
@@ -819,6 +877,13 @@ impl ScenarioSpec {
                     .map(|(a, b)| format!("[{a}, {b}]"))
                     .collect();
                 let _ = writeln!(out, "trunks = [{}]", trunks.join(", "));
+            }
+            Topology::FatTree(ft) => {
+                let _ = writeln!(
+                    out,
+                    "kind = \"fattree\"\nk = {}\ntiers = {}\noversubscription = {}",
+                    ft.k, ft.tiers, ft.oversubscription
+                );
             }
         }
 
@@ -979,6 +1044,73 @@ kind = "sink"
                 .contains("shards"),
             "shards > 64 must be rejected"
         );
+    }
+
+    #[test]
+    fn fattree_topology_parses_defaults_and_roundtrips() {
+        let spec = ScenarioSpec::parse(
+            "name = \"clos\"\n[topology]\nkind = \"fattree\"\nk = 4\n\n\
+             [[role]]\nnode = 0\nkind = \"rperf\"\ntarget = 7\n\n\
+             [[role]]\nnode = 7\nkind = \"sink\"",
+        )
+        .unwrap();
+        // tiers defaults to 2, oversubscription to 1: 8 hosts, 6 switches.
+        assert_eq!(
+            spec.topology,
+            Topology::FatTree(FatTreeParams::new(4, 2, 1))
+        );
+        assert_eq!(spec.topology.hosts(), 8);
+        assert_eq!(spec.topology.switches(), 6);
+        spec.validate().unwrap();
+        let back = ScenarioSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(back, spec, "fattree must round-trip through text");
+
+        let three = ScenarioSpec::parse(
+            "[topology]\nkind = \"fattree\"\nk = 4\ntiers = 3\noversubscription = 2",
+        )
+        .unwrap();
+        assert_eq!(
+            three.topology,
+            Topology::FatTree(FatTreeParams::new(4, 3, 2))
+        );
+    }
+
+    #[test]
+    fn fattree_errors_carry_the_offending_line() {
+        let e = ScenarioSpec::parse("[topology]\nkind = \"fattree\"\nk = 5").unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.msg.contains("even"), "{e}");
+
+        let e =
+            ScenarioSpec::parse("[topology]\nkind = \"fattree\"\nk = 4\ntiers = 7").unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+        assert!(e.msg.contains("tiers"), "{e}");
+
+        let e = ScenarioSpec::parse("[topology]\nkind = \"fattree\"").unwrap_err();
+        assert!(e.msg.contains('k'), "missing k is reported: {e}");
+    }
+
+    #[test]
+    fn over_sharded_specs_are_rejected_with_line_numbers() {
+        // direct_pair has 2 devices; shards = 3 cannot be satisfied.
+        let e = ScenarioSpec::parse("shards = 3\n[topology]\nkind = \"direct_pair\"").unwrap_err();
+        assert_eq!(e.line, 1, "{e}");
+        assert!(e.msg.contains("2 devices"), "{e}");
+
+        // The programmatic path (CLI --shards override) is caught by
+        // validate() instead.
+        let spec = ScenarioSpec::new("t", Topology::DirectPair)
+            .with_role(0, Role::Sink)
+            .with_shards(3);
+        let msg = spec.validate().unwrap_err();
+        assert!(msg.contains("2 devices"), "{msg}");
+
+        // At the boundary it is fine: 2 hosts + 0 switches = 2 devices.
+        ScenarioSpec::new("t", Topology::DirectPair)
+            .with_role(0, Role::Sink)
+            .with_shards(2)
+            .validate()
+            .unwrap();
     }
 
     #[test]

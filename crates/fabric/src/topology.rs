@@ -8,7 +8,7 @@ use rperf_model::config::RnicConfig;
 use rperf_model::{ClusterConfig, Lid, NodeId, PortId};
 use rperf_rnic::Rnic;
 use rperf_sim::SimRng;
-use rperf_subnet::{plan, TopologySpec};
+use rperf_subnet::{plan, FatTreeParams, TopologySpec};
 use rperf_switch::{CreditLedger, Switch};
 
 /// A topology selector covering every fabric shape the suite builds,
@@ -37,6 +37,11 @@ pub enum Topology {
     },
     /// An arbitrary planned topology (chains, stars, custom graphs).
     Spec(TopologySpec),
+    /// A parameterized Clos / fat-tree fabric (2-tier leaf–spine or
+    /// 3-tier pods + core), planned like [`Topology::Spec`] but with the
+    /// switch port budget raised to the tree's radix when the configured
+    /// budget is smaller.
+    FatTree(FatTreeParams),
 }
 
 impl Topology {
@@ -50,6 +55,7 @@ impl Topology {
                 downstream,
             } => upstream + downstream,
             Topology::Spec(spec) => spec.hosts(),
+            Topology::FatTree(ft) => ft.hosts(),
         }
     }
 
@@ -60,6 +66,7 @@ impl Topology {
             Topology::SingleSwitch { .. } => 1,
             Topology::TwoSwitch { .. } => 2,
             Topology::Spec(spec) => spec.switches(),
+            Topology::FatTree(ft) => ft.switches(),
         }
     }
 }
@@ -255,7 +262,34 @@ impl FabricBuilder {
                 downstream,
             } => self.two_switch(*upstream, *downstream),
             Topology::Spec(spec) => self.from_spec(spec),
+            Topology::FatTree(ft) => self.fattree(ft),
         }
+    }
+
+    /// Builds a parameterized fat-tree: generates the switch graph and
+    /// plans it like any other spec, but first raises the per-switch port
+    /// budget to the tree's radix if the configured budget is smaller
+    /// (a k = 8 leaf–spine needs 16-port spines where the paper's
+    /// hardware profile models a 12-port SX6012).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`FatTreeParams::validate`] or the
+    /// radix exceeds the `u8` port-number space.
+    pub fn fattree(mut self, ft: &FatTreeParams) -> Fabric {
+        let checked = ft.validate();
+        assert!(
+            checked.is_ok(),
+            "invalid fat-tree parameters: {}",
+            checked.unwrap_err()
+        );
+        assert!(
+            ft.radix() <= u8::MAX as usize,
+            "fat-tree radix {} exceeds 255 ports",
+            ft.radix()
+        );
+        self.cfg.switch.ports = self.cfg.switch.ports.max(ft.radix() as u8);
+        self.from_spec(&ft.spec())
     }
 
     /// Builds the back-to-back two-host fabric.
@@ -622,6 +656,48 @@ mod spec_tests {
             &FabricBuilder::new(cfg(), 7).build(&Topology::Spec(TopologySpec::chain(2, &[1, 1]))),
             &Fabric::from_spec(cfg(), &TopologySpec::chain(2, &[1, 1]), 7),
         );
+    }
+
+    #[test]
+    fn fattree_raises_the_port_budget_to_the_radix() {
+        use rperf_subnet::FatTreeParams;
+        // 128 hosts over 16 leaves + 4 spines; the 16-port spines exceed
+        // the hardware profile's 12-port switch, so the builder bumps the
+        // budget.
+        let ft = FatTreeParams::new(8, 2, 2);
+        let f = FabricBuilder::new(ClusterConfig::hardware(), 1).build(&Topology::FatTree(ft));
+        assert_eq!(f.nodes(), 128);
+        assert_eq!(f.switches_len(), 20);
+        assert_eq!(f.config().switch.ports, 16);
+        // Every switch can forward to every host.
+        for sw in 0..f.switches_len() {
+            assert_eq!(f.switch(sw).forwarding().len(), 128);
+        }
+    }
+
+    #[test]
+    fn fattree_three_tier_builds_end_to_end() {
+        use rperf_subnet::FatTreeParams;
+        let ft = FatTreeParams::new(4, 3, 1);
+        let topo = Topology::FatTree(ft);
+        assert_eq!(topo.hosts(), 16);
+        assert_eq!(topo.switches(), 20);
+        let f = FabricBuilder::new(ClusterConfig::hardware(), 1).build(&topo);
+        assert_eq!(f.nodes(), 16);
+        // The 12-port profile already covers a radix-4 tree: no bump.
+        assert_eq!(f.config().switch.ports, 12);
+        // Hosts 0 and 1 share edge switch 0; host 15 is cross-pod.
+        assert_eq!(f.rnic_peer[0], Endpoint::SwitchPort(0, PortId::new(0)));
+        assert_eq!(f.rnic_peer[1], Endpoint::SwitchPort(0, PortId::new(1)));
+        assert_eq!(f.rnic_peer[15], Endpoint::SwitchPort(7, PortId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fat-tree parameters")]
+    fn fattree_rejects_odd_k() {
+        use rperf_subnet::FatTreeParams;
+        let _ = FabricBuilder::new(ClusterConfig::hardware(), 1)
+            .build(&Topology::FatTree(FatTreeParams::new(5, 2, 1)));
     }
 
     #[test]

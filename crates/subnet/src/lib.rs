@@ -8,9 +8,13 @@
 //! * [`TopologySpec`] — declarative description: switches, host
 //!   attachments, inter-switch trunks (with convenience constructors for
 //!   the paper's setups and for switch chains).
+//! * [`FatTreeParams`] — parameterized 2-tier leaf–spine and 3-tier
+//!   Clos / fat-tree generators (`k`, tier count, edge oversubscription)
+//!   producing plain [`TopologySpec`] graphs.
 //! * [`plan`] — validates the spec against the switch port budget,
 //!   assigns LIDs and ports, and computes shortest-path forwarding
-//!   entries (BFS over the switch graph, deterministic tie-breaking).
+//!   entries (BFS over the switch graph; equal-cost paths are resolved
+//!   per destination LID, deterministically and hash-free).
 //! * [`SubnetPlan`] — the programmable result the fabric builder consumes.
 //!
 //! # Examples
@@ -29,9 +33,11 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fattree;
 mod planner;
 mod spec;
 
 pub use error::SubnetError;
+pub use fattree::FatTreeParams;
 pub use planner::{plan, SubnetPlan};
 pub use spec::TopologySpec;

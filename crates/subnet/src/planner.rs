@@ -38,8 +38,19 @@ impl SubnetPlan {
 /// Validates `spec` against `ports_per_switch` and computes the plan:
 /// hosts take the low port numbers on their switch (in host order),
 /// trunks take the next ports (in trunk order); forwarding uses BFS
-/// shortest paths over the switch graph with deterministic tie-breaking
-/// (lower-numbered neighbour wins).
+/// shortest paths over the switch graph.
+///
+/// When several equal-cost shortest paths exist (Clos fabrics, parallel
+/// trunks), the egress port is chosen **per destination LID**: the
+/// candidate ports — neighbours exactly one hop closer to the
+/// destination switch, sorted by `(neighbour, port)` — are indexed by
+/// `lid mod candidates`. The selection is a pure function of the
+/// topology and the LID (no hashing, no iteration-order dependence), so
+/// repeated plans are byte-identical, and distinct destinations spread
+/// deterministically across the equal-cost fan — the ECMP-free
+/// destination-based routing of a statically routed IB subnet. A
+/// topology with unique shortest paths gets exactly the single
+/// candidate the BFS tree would have picked.
 ///
 /// # Errors
 ///
@@ -97,30 +108,16 @@ pub fn plan(spec: &TopologySpec, ports_per_switch: u8) -> Result<SubnetPlan, Sub
         adjacency[b].push((a, pb));
     }
 
-    // Connectivity + next-hop computation via BFS from every switch.
-    // next_hop[from][to] = local port on `from` toward `to`.
-    let mut next_hop: Vec<Vec<Option<PortId>>> = vec![vec![None; n_sw]; n_sw];
+    // Connectivity + distance computation via BFS from every switch.
     let mut dist: Vec<Vec<u32>> = vec![vec![u32::MAX; n_sw]; n_sw];
-    for start in 0..n_sw {
+    for (start, dist) in dist.iter_mut().enumerate() {
         let mut queue = VecDeque::new();
-        dist[start][start] = 0;
+        dist[start] = 0;
         queue.push_back(start);
         while let Some(sw) = queue.pop_front() {
-            let mut neighbours = adjacency[sw].clone();
-            neighbours.sort_by_key(|&(n, _)| n); // deterministic tie-break
-            for (n, _port) in neighbours {
-                if dist[start][n] == u32::MAX {
-                    dist[start][n] = dist[start][sw] + 1;
-                    // The first hop from `start` toward `n` goes through
-                    // the same port as toward `sw`, unless sw == start.
-                    next_hop[start][n] = if sw == start {
-                        adjacency[start]
-                            .iter()
-                            .find(|&&(nb, _)| nb == n)
-                            .map(|&(_, p)| p)
-                    } else {
-                        next_hop[start][sw]
-                    };
+            for &(n, _port) in &adjacency[sw] {
+                if dist[n] == u32::MAX {
+                    dist[n] = dist[sw] + 1;
                     queue.push_back(n);
                 }
             }
@@ -132,8 +129,37 @@ pub fn plan(spec: &TopologySpec, ports_per_switch: u8) -> Result<SubnetPlan, Sub
         }
     }
 
+    // Equal-cost candidate egress ports per (switch, destination switch):
+    // every local port whose neighbour is exactly one hop closer, sorted
+    // by (neighbour, port) so selection is independent of trunk
+    // declaration order. Only switches that actually host endpoints are
+    // forwarding destinations.
+    let mut sorted_adj = adjacency;
+    for neigh in &mut sorted_adj {
+        neigh.sort_by_key(|&(n, p)| (n, p.raw()));
+    }
+    let mut is_dest = vec![false; n_sw];
+    for &(sw, _) in &host_ports {
+        is_dest[sw] = true;
+    }
+    // candidates[sw * n_sw + dst]: empty unless dst hosts endpoints.
+    let mut candidates: Vec<Vec<PortId>> = vec![Vec::new(); n_sw * n_sw];
+    for sw in 0..n_sw {
+        for dst in 0..n_sw {
+            if sw == dst || !is_dest[dst] {
+                continue;
+            }
+            let toward = &mut candidates[sw * n_sw + dst];
+            for &(n, p) in &sorted_adj[sw] {
+                if dist[n][dst] != u32::MAX && dist[n][dst] + 1 == dist[sw][dst] {
+                    toward.push(p);
+                }
+            }
+        }
+    }
+
     // Forwarding tables: local hosts → their port; remote hosts → the
-    // next hop toward their switch.
+    // LID-selected equal-cost next hop toward their switch.
     let mut routes: Vec<Vec<(Lid, PortId)>> = vec![Vec::new(); n_sw];
     for (host, &(attached, port)) in host_ports.iter().enumerate() {
         let lid = lids[host];
@@ -141,8 +167,9 @@ pub fn plan(spec: &TopologySpec, ports_per_switch: u8) -> Result<SubnetPlan, Sub
             if sw == attached {
                 table.push((lid, port));
             } else {
-                let hop =
-                    next_hop[sw][attached].expect("connectivity verified: a next hop must exist");
+                let toward = &candidates[sw * n_sw + attached];
+                debug_assert!(!toward.is_empty(), "connectivity verified above");
+                let hop = toward[lid.index() % toward.len()];
                 table.push((lid, hop));
             }
         }
@@ -223,6 +250,29 @@ mod tests {
         // Host 0 on leaf 1, host 2 on leaf 2: 3 switches on the path.
         assert_eq!(plan.hops[0][2], 3);
         assert_eq!(plan.hops[0][1], 1, "same leaf");
+    }
+
+    #[test]
+    fn fattree_spreads_lids_over_equal_cost_uplinks() {
+        // k = 4 leaf-spine: leaves 0..4 (2 hosts each, ports 0-1; uplinks
+        // ports 2-3 toward spines 4 and 5), so every remote destination
+        // has two equal-cost candidates on every leaf.
+        let spec = crate::FatTreeParams::new(4, 2, 1).spec();
+        let plan = plan(&spec, 12).unwrap();
+        // Hosts 2 and 3 (LIDs 3 and 4) sit on leaf 1; leaf 0 must spread
+        // them across both uplinks by LID parity.
+        assert_eq!(plan.route_of(0, Lid::new(3)), Some(PortId::new(3)));
+        assert_eq!(plan.route_of(0, Lid::new(4)), Some(PortId::new(2)));
+        // Spines route every LID straight down to its leaf.
+        assert_eq!(plan.route_of(4, Lid::new(1)), Some(PortId::new(0)));
+        assert_eq!(plan.hops[0][2], 3, "cross-leaf pairs traverse a spine");
+        assert_eq!(plan.hops[0][1], 1, "same-leaf pairs stay local");
+        // Replanning is byte-identical.
+        assert_eq!(plan, plan_fn(&spec));
+    }
+
+    fn plan_fn(spec: &TopologySpec) -> SubnetPlan {
+        plan(spec, 12).unwrap()
     }
 
     #[test]

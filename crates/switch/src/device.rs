@@ -157,6 +157,11 @@ impl Switch {
         self.fwd.set(lid, port);
     }
 
+    /// The programmed forwarding table (read-only; debug dumps).
+    pub fn forwarding(&self) -> &ForwardingTable {
+        &self.fwd
+    }
+
     /// Replaces the credit ledger toward the peer on `port` (call when the
     /// peer's advertisement differs from switch-buffer symmetry, e.g. a
     /// host RNIC).

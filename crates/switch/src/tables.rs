@@ -1,11 +1,14 @@
 //! Linear forwarding tables.
 
-use std::collections::BTreeMap;
-
 use rperf_model::{Lid, PortId};
 
 /// A LID → egress-port forwarding table, programmed by the subnet manager
 /// at fabric bring-up.
+///
+/// Lookups are on the per-packet hot path, so the table is a dense `Vec`
+/// indexed by destination LID — `route` is a bounds check plus a load,
+/// with no tree walk or hashing. LIDs are assigned contiguously from 1
+/// by the subnet planner, so the slab wastes at most one slot.
 ///
 /// # Examples
 ///
@@ -20,7 +23,10 @@ use rperf_model::{Lid, PortId};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ForwardingTable {
-    entries: BTreeMap<u16, PortId>,
+    /// `slots[lid]` is the programmed egress port for that LID.
+    slots: Vec<Option<PortId>>,
+    /// Number of `Some` entries in `slots`.
+    programmed: usize,
 }
 
 impl ForwardingTable {
@@ -31,22 +37,38 @@ impl ForwardingTable {
 
     /// Programs (or reprograms) the egress port for a destination LID.
     pub fn set(&mut self, lid: Lid, port: PortId) {
-        self.entries.insert(lid.raw(), port);
+        let idx = lid.raw() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].is_none() {
+            self.programmed += 1;
+        }
+        self.slots[idx] = Some(port);
     }
 
     /// Looks up the egress port for a destination LID.
+    #[inline]
     pub fn route(&self, lid: Lid) -> Option<PortId> {
-        self.entries.get(&lid.raw()).copied()
+        self.slots.get(lid.raw() as usize).copied().flatten()
     }
 
     /// Number of programmed destinations.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.programmed
     }
 
     /// `true` if nothing is programmed.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.programmed == 0
+    }
+
+    /// Iterates the programmed entries in ascending LID order.
+    pub fn entries(&self) -> impl Iterator<Item = (Lid, PortId)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(lid, port)| port.map(|p| (Lid::new(lid as u16), p)))
     }
 }
 
@@ -81,5 +103,17 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert_eq!(t.route(Lid::new(2)), Some(PortId::new(2)));
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn entries_iterate_in_lid_order_with_holes_skipped() {
+        let mut t = ForwardingTable::new();
+        t.set(Lid::new(9), PortId::new(1));
+        t.set(Lid::new(2), PortId::new(7));
+        let seen: Vec<(u16, u8)> = t.entries().map(|(l, p)| (l.raw(), p.raw())).collect();
+        assert_eq!(seen, vec![(2, 7), (9, 1)]);
+        assert_eq!(t.len(), 2);
+        // Lookups far past the slab end are misses, not panics.
+        assert_eq!(t.route(Lid::new(1000)), None);
     }
 }

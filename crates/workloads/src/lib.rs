@@ -14,16 +14,21 @@
 //!   posted in aggressive bursts.
 //! * [`Sink`] — the destination server: keeps receive queues charged and
 //!   counts per-run deliveries.
+//! * [`pair_at_hops`] / [`incast_sources`] — pod-aware placement over
+//!   fat-tree fabrics: victim pairs at a chosen hop distance and incast
+//!   source sets spread over remote edges.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bsg;
 mod lsg;
+mod placement;
 mod role;
 mod sink;
 
 pub use bsg::{Bsg, BsgConfig, PretendLsg};
 pub use lsg::{ClosedLoopPing, LsgConfig};
+pub use placement::{incast_sources, pair_at_hops};
 pub use role::{build_workload, WorkloadRole};
 pub use sink::Sink;

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Fat-tree/Clos smoke (`make clos-smoke`; DESIGN.md §4.2).
+#
+# Three checks:
+#
+# 1. End-to-end from spec files — always. Both committed fat-tree
+#    example scenarios (3-tier k = 4 Clos and the oversubscribed
+#    leaf-spine) must run from their `.scn` files alone and emit valid
+#    JSON, and `--dump-routes` must print the same per-switch
+#    forwarding tables on repeated invocations: routing is planned
+#    deterministically, never discovered at run time.
+#
+# 2. Sharded byte-identity at scale — always. A generated 128-host
+#    k = 8 leaf-spine incast must emit identical JSON at --shards 1
+#    and --shards 4.
+#
+# 3. Speedup floor — only on hosts with >= 4 CPUs. The sharded k = 8
+#    run must beat the sequential one by at least
+#    CLOS_SMOKE_MIN_SPEEDUP x wall-clock (best of 3 runs each). On
+#    smaller hosts the conservative window barriers can only add
+#    overhead, so the floor is skipped there, not faked.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI=${CLI:-target/release/rperf-cli}
+MIN_SPEEDUP=${CLOS_SMOKE_MIN_SPEEDUP:-1.5}
+TMP=${TMPDIR:-/tmp}
+
+if [ ! -x "$CLI" ]; then
+    echo "clos-smoke: building rperf-cli" >&2
+    cargo build --release -q -p rperf-cli
+fi
+
+echo "clos-smoke: fat-tree examples end-to-end from spec files" >&2
+for scn in fattree_incast fattree_victim; do
+    "$CLI" scenario "examples/scenarios/$scn.scn" --json | python3 -m json.tool >/dev/null
+    "$CLI" scenario "examples/scenarios/$scn.scn" --dump-routes >"$TMP/rperf_${scn}_routes_a.txt"
+    "$CLI" scenario "examples/scenarios/$scn.scn" --dump-routes >"$TMP/rperf_${scn}_routes_b.txt"
+    cmp "$TMP/rperf_${scn}_routes_a.txt" "$TMP/rperf_${scn}_routes_b.txt"
+    echo "  $scn: ran, routes deterministic" >&2
+done
+
+# The scale scenario: a 128-host k = 8, o = 2 leaf-spine (16 leaves,
+# 4 spines) with an 8-wide remote-leaf incast plus a spine-crossing
+# victim. Generated here rather than committed: the smoke's point is
+# that arbitrary fat-trees need no Rust changes.
+K8=$TMP/rperf_clos_k8.scn
+{
+    printf 'name = "clos_k8"\nwarmup_us = 200\nduration_ms = 4\n\n'
+    printf '[topology]\nkind = "fattree"\nk = 8\ntiers = 2\noversubscription = 2\n\n'
+    printf '[[role]]\nnode = 0\nkind = "rperf"\ntarget = 8\npayload = 64\n\n'
+    for n in 16 24 32 40 48 56 64 72; do
+        printf '[[role]]\nnode = %d\nkind = "bsg"\ntarget = 8\npayload = 4096\n\n' "$n"
+    done
+    printf '[[role]]\nnode = 8\nkind = "sink"\n'
+} >"$K8"
+
+echo "clos-smoke: k=8 byte-identity, --shards 1 vs --shards 4" >&2
+"$CLI" scenario "$K8" --json >"$TMP/rperf_clos_k8_s1.json"
+"$CLI" scenario "$K8" --json --shards 4 >"$TMP/rperf_clos_k8_s4.json"
+cmp "$TMP/rperf_clos_k8_s1.json" "$TMP/rperf_clos_k8_s4.json"
+echo "  clos_k8: identical" >&2
+
+ncpu=$(nproc)
+if [ "$ncpu" -lt 4 ]; then
+    echo "clos-smoke: $ncpu CPU(s) < 4 — speedup floor skipped (identity checked)" >&2
+    exit 0
+fi
+
+# Best-of-3 wall nanoseconds for `scenario clos_k8 [extra args]`.
+best_ns() {
+    local best=""
+    local t0 t1 dt
+    for _ in 1 2 3; do
+        t0=$(date +%s%N)
+        "$CLI" scenario "$K8" --json "$@" >/dev/null
+        t1=$(date +%s%N)
+        dt=$((t1 - t0))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+    done
+    echo "$best"
+}
+
+seq_ns=$(best_ns)
+par_ns=$(best_ns --shards 4)
+awk -v s="$seq_ns" -v p="$par_ns" -v m="$MIN_SPEEDUP" 'BEGIN {
+    speedup = s / p
+    printf "clos-smoke: clos_k8 sequential %.3f s, --shards 4 %.3f s: %.2fx (floor %.2fx)\n",
+        s / 1e9, p / 1e9, speedup, m
+    exit !(speedup >= m)
+}' >&2 || {
+    echo "clos-smoke: FAILED the speedup floor (tune CLOS_SMOKE_MIN_SPEEDUP to re-gate)" >&2
+    exit 1
+}
+echo "clos-smoke: ok" >&2
