@@ -13,10 +13,13 @@ fmt:
 lint:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
-# Workspace invariant linter (rperf-lint, DESIGN.md §5): determinism and
-# hot-loop rules D1-D10, configured by the checked-in lint.toml.
+# Workspace invariant linter (rperf-lint, DESIGN.md §5): token rules
+# D1-D10 plus the interprocedural rules I1-I4 over the workspace call
+# graph, configured by the checked-in lint.toml. --ci additionally
+# writes LINT_report.json (machine-readable diagnostics) for the CI
+# artifact next to BENCH_report.json.
 lint-invariants:
-	$(CARGO) run --release -q -p rperf-lint
+	$(CARGO) run --release -q -p rperf-lint -- --ci
 
 # One figure sweep with the sim-sanitizer feature's runtime invariant
 # checks (packet conservation, credit bounds, event-time monotonicity).

@@ -104,24 +104,27 @@ impl PerftestClient {
     }
 
     fn post_ping(&mut self, ctx: &mut Ctx<'_>) {
-        let qp = self.qp.expect("started");
+        let Some(qp) = self.qp else {
+            debug_assert!(false, "post_ping before start");
+            return;
+        };
         ctx.post_recv(qp, RecvWr::new(WrId(self.iter), 1 << 20));
         self.t0 = Some(ctx.read_tsc());
         let wr = SendWr::new(WrId(self.iter), Verb::Send, self.cfg.payload)
             .to(ctx.lid_of(self.cfg.peer), QpNum::new(1))
             .with_sl(self.cfg.sl);
-        ctx.post_send(qp, wr).expect("valid ping");
+        if ctx.post_send(qp, wr).is_err() {
+            debug_assert!(false, "invalid ping WR");
+        }
     }
 }
 
 impl App for PerftestClient {
     fn start(&mut self, ctx: &mut Ctx<'_>) {
-        self.sw = Some(SoftwareModel::new(
-            ctx.config().host,
-            SimRng::new(self.cfg.seed),
-        ));
+        let mut sw = SoftwareModel::new(ctx.config().host, SimRng::new(self.cfg.seed));
         self.qp = Some(ctx.create_qp(Transport::Rc));
-        let delay = self.sw.as_mut().expect("set").step(self.cfg.post_sw);
+        let delay = sw.step(self.cfg.post_sw);
+        self.sw = Some(sw);
         ctx.set_timer(delay, TIMER_POST);
     }
 
@@ -129,10 +132,16 @@ impl App for PerftestClient {
         if cqe.opcode != CqeOpcode::Recv {
             return; // own send completion: perftest ignores it
         }
-        let sw = self.sw.as_mut().expect("started");
+        let Some(sw) = self.sw.as_mut() else {
+            debug_assert!(false, "CQE before start");
+            return;
+        };
         let detect = sw.poll_detect(self.cfg.poll_period);
         let t1 = ctx.clock().read(ctx.now() + detect);
-        let t0 = self.t0.take().expect("pong without ping");
+        let Some(t0) = self.t0.take() else {
+            debug_assert!(false, "pong without ping");
+            return;
+        };
         self.iter += 1;
         if ctx.now() >= SimTime::ZERO + self.cfg.warmup {
             let cycles = t1.cycles_since(t0);
@@ -202,7 +211,10 @@ impl App for PingPongServer {
             return;
         }
         // Poll detection + software response generation, then post.
-        let sw = self.sw.as_mut().expect("started");
+        let Some(sw) = self.sw.as_mut() else {
+            debug_assert!(false, "CQE before start");
+            return;
+        };
         let delay = sw.poll_detect(self.cfg.poll_period) + sw.step(self.cfg.response_sw);
         self.pending += 1;
         ctx.set_timer(delay, TIMER_PONG);
@@ -214,12 +226,17 @@ impl App for PingPongServer {
         }
         self.pending -= 1;
         self.pongs += 1;
-        let qp = self.qp.expect("started");
+        let Some(qp) = self.qp else {
+            debug_assert!(false, "pong timer before start");
+            return;
+        };
         ctx.post_recv(qp, RecvWr::new(WrId(1_000_000 + self.pongs), 1 << 20));
         let wr = SendWr::new(WrId(self.pongs), Verb::Send, self.cfg.payload)
             .to(ctx.lid_of(self.cfg.peer), QpNum::new(1))
             .with_sl(self.cfg.sl);
-        ctx.post_send(qp, wr).expect("valid pong");
+        if ctx.post_send(qp, wr).is_err() {
+            debug_assert!(false, "invalid pong WR");
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -136,14 +136,20 @@ impl App for QperfClient {
         if cqe.opcode != CqeOpcode::Write {
             return;
         }
-        let sw = self.sw.as_mut().expect("started");
+        let Some(sw) = self.sw.as_mut() else {
+            debug_assert!(false, "CQE before start");
+            return;
+        };
         let detect = sw.poll_detect(self.cfg.poll_period);
         // The stop timestamp costs a full clock read inside the measured
         // section.
         let t1 = ctx
             .clock()
             .read(ctx.now() + detect + self.cfg.timestamp_cost);
-        let t0 = self.t0.take().expect("completion without post");
+        let Some(t0) = self.t0.take() else {
+            debug_assert!(false, "completion without post");
+            return;
+        };
         self.iter += 1;
         if ctx.now() >= SimTime::ZERO + self.cfg.warmup {
             let cycles = t1.cycles_since(t0);
@@ -158,7 +164,10 @@ impl App for QperfClient {
                 // Start timestamp; the post happens only after the clock
                 // read completes (its cost is inside the measured span).
                 self.t0 = Some(ctx.read_tsc());
-                let qp = self.qp.expect("started");
+                let Some(qp) = self.qp else {
+                    debug_assert!(false, "post timer before start");
+                    return;
+                };
                 let wr = SendWr::new(WrId(self.iter), Verb::Write, self.cfg.payload)
                     .to(ctx.lid_of(self.cfg.peer), QpNum::new(1))
                     .with_sl(self.cfg.sl);
@@ -168,8 +177,13 @@ impl App for QperfClient {
                 ctx.set_timer(self.cfg.timestamp_cost + buffer_touch, TIMER_ACTUAL_POST);
             }
             TIMER_ACTUAL_POST => {
-                let (qp, wr) = self.pending_wr.take().expect("deferred post");
-                ctx.post_send(qp, wr).expect("valid qperf WRITE");
+                let Some((qp, wr)) = self.pending_wr.take() else {
+                    debug_assert!(false, "deferred post without pending WR");
+                    return;
+                };
+                if ctx.post_send(qp, wr).is_err() {
+                    debug_assert!(false, "invalid qperf WRITE");
+                }
             }
             _ => {}
         }

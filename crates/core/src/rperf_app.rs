@@ -132,7 +132,10 @@ impl RPerf {
     }
 
     fn fire(&mut self, ctx: &mut Ctx<'_>) {
-        let qp = self.qp.expect("started");
+        let Some(qp) = self.qp else {
+            debug_assert!(false, "fire before start");
+            return;
+        };
         // A receive buffer for the loopback SEND's delivery to self.
         ctx.post_recv(qp, RecvWr::new(WrId(u64::MAX - 1), 1 << 20));
         self.t_posted = ctx.now();
@@ -148,12 +151,16 @@ impl RPerf {
             .via_loopback();
         // One doorbell for the pair: over-the-wire first, loopback second,
         // exactly as Section IV describes.
-        ctx.post_send_batch(qp, vec![wire, lback])
-            .expect("valid RPerf probes");
+        if ctx.post_send_batch(qp, vec![wire, lback]).is_err() {
+            debug_assert!(false, "invalid RPerf probes");
+        }
     }
 
     fn timestamp(&mut self, ctx: &Ctx<'_>) -> Tsc {
-        let sw = self.sw.as_mut().expect("started");
+        let Some(sw) = self.sw.as_mut() else {
+            debug_assert!(false, "timestamp before start");
+            return ctx.clock().read(ctx.now());
+        };
         let detect = sw.poll_detect(self.cfg.poll_period);
         ctx.clock().read(ctx.now() + detect)
     }

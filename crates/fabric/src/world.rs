@@ -733,8 +733,10 @@ impl Sim {
     /// Runs toward the horizon (exclusive) under an event budget and a
     /// cooperative cancellation hook; see [`rperf_sim::run_budgeted`].
     ///
-    /// An uninterrupted call is bit-identical to [`Sim::run_until`]; an
-    /// interrupted one leaves the simulation resumable. The global
+    /// Events are dispatched in deterministic (time, seq) order across
+    /// pause/resume boundaries, so an uninterrupted call is bit-identical
+    /// to [`Sim::run_until`]; an interrupted one leaves the simulation
+    /// resumable. The global
     /// events/slab accounting is updated either way, so throughput
     /// attribution stays correct for cancelled work too.
     pub fn run_until_budgeted(

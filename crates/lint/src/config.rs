@@ -18,6 +18,14 @@
 //! contains = "no route for"            # optional: substring of the line
 //! justification = "mandatory free text explaining why this is sound"
 //! ```
+//!
+//! The interprocedural rules (I1–I3) additionally take `entries`, the
+//! call-graph roots the reachability analysis starts from (patterns per
+//! [`crate::graph::Graph::match_entries`]); I4 takes `api_crate`, the
+//! crate whose contract-documented functions propagate the doc
+//! obligation. A top-level `off_features = [...]` key lists cargo
+//! features the analyzer assumes disabled (feature-gated code is
+//! invisible to the call graph).
 
 use rperf_model::textcfg::{err, expect_str, expect_str_list, Document, ParseError, Section};
 
@@ -36,6 +44,10 @@ pub struct RuleCfg {
     pub files: Vec<String>,
     /// Optional override of the built-in fix hint.
     pub hint: Option<String>,
+    /// Call-graph entry-point patterns (interprocedural rules I1–I3).
+    pub entries: Vec<String>,
+    /// The ordering-contract API crate (rule I4; defaults to `sim`).
+    pub api_crate: Option<String>,
 }
 
 /// One allowlist entry, silencing matching diagnostics.
@@ -62,6 +74,8 @@ pub struct Config {
     pub rules: Vec<RuleCfg>,
     /// Allowlist entries in file order.
     pub allows: Vec<AllowEntry>,
+    /// Cargo features the call-graph analysis assumes disabled.
+    pub off_features: Vec<String>,
 }
 
 impl Config {
@@ -79,8 +93,12 @@ impl Config {
     /// missing a justification.
     pub fn parse(text: &str) -> Result<Config, ParseError> {
         let doc = Document::parse(text)?;
-        doc.top.check_keys("lint.toml", &["version"])?;
+        doc.top
+            .check_keys("lint.toml", &["version", "off_features"])?;
         let mut cfg = Config::default();
+        if let Some((line, v)) = doc.top.get("off_features") {
+            cfg.off_features = expect_str_list(line, "off_features", v)?;
+        }
         for sec in &doc.sections {
             match sec.raw_header.as_str() {
                 "[[rule]]" => cfg.rules.push(parse_rule(sec)?),
@@ -106,7 +124,10 @@ impl Config {
 }
 
 fn parse_rule(sec: &Section) -> Result<RuleCfg, ParseError> {
-    sec.check_keys("a [[rule]]", &["id", "crates", "files", "hint"])?;
+    sec.check_keys(
+        "a [[rule]]",
+        &["id", "crates", "files", "hint", "entries", "api_crate"],
+    )?;
     let Some((iline, ival)) = sec.get("id") else {
         return err(sec.header_line, "[[rule]] needs an `id` key");
     };
@@ -135,11 +156,27 @@ fn parse_rule(sec: &Section) -> Result<RuleCfg, ParseError> {
         None => None,
         Some((hline, hval)) => Some(expect_str(hline, "hint", hval)?),
     };
+    let entries = match sec.get("entries") {
+        None => Vec::new(),
+        Some((eline, eval)) => expect_str_list(eline, "entries", eval)?,
+    };
+    if matches!(id.as_str(), "I1" | "I2" | "I3") && entries.is_empty() {
+        return err(
+            sec.header_line,
+            format!("reachability rule `{id}` needs a non-empty `entries` list"),
+        );
+    }
+    let api_crate = match sec.get("api_crate") {
+        None => None,
+        Some((aline, aval)) => Some(expect_str(aline, "api_crate", aval)?),
+    };
     Ok(RuleCfg {
         id,
         crates,
         files,
         hint,
+        entries,
+        api_crate,
     })
 }
 

@@ -12,20 +12,33 @@
 //! rule catalog ([`rules`]) over the token streams, configured by the
 //! checked-in `lint.toml` ([`config`]).
 //!
+//! On top of the token rules, an item-tree parser ([`parse`]) and a
+//! workspace-wide conservative call graph ([`graph`]) drive four
+//! interprocedural rules ([`inter`]): taint-, panic-, and
+//! global-state-reachability plus ordering-contract propagation — the
+//! violations that launder themselves through helper crates and that
+//! single-file pattern matching cannot see.
+//!
 //! The binary (`cargo run -p rperf-lint`, or `make lint-invariants`)
 //! exits non-zero on any violation, printing `file:line:col`, the
-//! offending line, the rule id and a fix hint.
+//! offending line, the rule id and a fix hint; `--format json`,
+//! `--explain <rule>`, `--jobs N` and `--ci` are documented in
+//! `main.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod graph;
+pub mod inter;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::thread;
 
 pub use config::Config;
 pub use rules::{Diagnostic, SourceFile};
@@ -135,7 +148,8 @@ fn collect_rs(src_dir: &Path, out: &mut Vec<WorkspaceFile>, key: &str) -> io::Re
 }
 
 /// Lints one source text under a path label — the path-independent entry
-/// point the fixture tests use.
+/// point the fixture tests use. Interprocedural rules see this file as
+/// the whole workspace, so single-file fixtures exercise I1–I4 too.
 pub fn lint_source(
     path: &str,
     crate_key: &str,
@@ -144,7 +158,20 @@ pub fn lint_source(
     cfg: &Config,
 ) -> Vec<Diagnostic> {
     let file = SourceFile::analyze(path, crate_key, is_crate_root, src);
-    rules::run_rules(&file, cfg)
+    lint_files(std::slice::from_ref(&file), cfg)
+}
+
+/// Runs the token rules per file plus the interprocedural rules over
+/// the whole set, returning unfiltered (pre-allowlist) diagnostics
+/// sorted by `(file, line, col, rule)`.
+pub fn lint_files(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        out.extend(rules::run_rules(file, cfg));
+    }
+    out.extend(inter::run_inter(files, cfg));
+    out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    out
 }
 
 /// Drops diagnostics matched by an `[[allow]]` entry, recording which
@@ -171,22 +198,68 @@ pub fn apply_allows(diags: Vec<Diagnostic>, cfg: &Config, used: &mut [bool]) -> 
         .collect()
 }
 
-/// Lints the whole workspace rooted at `root` with `cfg`.
+/// Lints the whole workspace rooted at `root` with `cfg`, spreading the
+/// per-file tokenize/parse/rule work over `jobs` scoped threads
+/// (`0` = available parallelism). Output is byte-identical for any
+/// `jobs`: workers own disjoint index ranges of the sorted file list,
+/// per-file results are merged in file order, and the interprocedural
+/// pass runs once over the ordered [`SourceFile`] set.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from traversal or file reads.
-pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+pub fn lint_workspace(root: &Path, cfg: &Config, jobs: usize) -> io::Result<LintReport> {
     let files = workspace_files(root)?;
-    let mut used = vec![false; cfg.allows.len()];
-    let mut diagnostics = Vec::new();
-    let mut files_checked = 0usize;
-    for f in &files {
-        let src = fs::read_to_string(&f.abs)?;
-        let raw = lint_source(&f.rel, &f.crate_key, f.is_crate_root, &src, cfg);
-        diagnostics.extend(apply_allows(raw, cfg, &mut used));
-        files_checked += 1;
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| fs::read_to_string(&f.abs))
+        .collect::<io::Result<_>>()?;
+    let jobs = match jobs {
+        0 => thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
     }
+    .min(files.len().max(1));
+    // Each worker analyzes a contiguous chunk; chunks concatenate back
+    // in file order, so the result is independent of scheduling.
+    let chunk = files.len().div_ceil(jobs.max(1)).max(1);
+    let mut analyzed: Vec<(SourceFile, Vec<Diagnostic>)> = Vec::with_capacity(files.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = files
+            .chunks(chunk)
+            .zip(sources.chunks(chunk))
+            .map(|(fs_chunk, src_chunk)| {
+                s.spawn(move || {
+                    fs_chunk
+                        .iter()
+                        .zip(src_chunk)
+                        .map(|(f, src)| {
+                            let sf =
+                                SourceFile::analyze(&f.rel, &f.crate_key, f.is_crate_root, src);
+                            let diags = rules::run_rules(&sf, cfg);
+                            (sf, diags)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // A worker can only panic if a rule does; propagate.
+            match h.join() {
+                Ok(part) => analyzed.extend(part),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    let mut used = vec![false; cfg.allows.len()];
+    let files_checked = analyzed.len();
+    let mut raw = Vec::new();
+    let mut source_files = Vec::with_capacity(files_checked);
+    for (sf, diags) in analyzed {
+        raw.extend(diags);
+        source_files.push(sf);
+    }
+    raw.extend(inter::run_inter(&source_files, cfg));
+    let mut diagnostics = apply_allows(raw, cfg, &mut used);
     diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
     let unused_allows = cfg
         .allows
@@ -207,6 +280,36 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<LintReport> {
     })
 }
 
+/// Renders a [`LintReport`] as deterministic JSON (the `--format json`
+/// output and the `LINT_report.json` CI artifact): an object with
+/// `files_checked`, a `diagnostics` array of
+/// `{path, line, col, rule, msg, line_text, hint}`, and the
+/// `stale_allows` strings.
+pub fn report_json(report: &LintReport) -> String {
+    use rperf_stats::json;
+    json::object([
+        ("files_checked", json::uint(report.files_checked as u64)),
+        (
+            "diagnostics",
+            json::array(report.diagnostics.iter().map(|d| {
+                json::object([
+                    ("path", json::string(&d.path)),
+                    ("line", json::uint(u64::from(d.line))),
+                    ("col", json::uint(u64::from(d.col))),
+                    ("rule", json::string(d.rule)),
+                    ("msg", json::string(&d.msg)),
+                    ("line_text", json::string(&d.line_text)),
+                    ("hint", json::string(&d.hint)),
+                ])
+            })),
+        ),
+        (
+            "stale_allows",
+            json::array(report.unused_allows.iter().map(|s| json::string(s))),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +323,8 @@ mod tests {
                 crates: vec!["fixture".into()],
                 files: Vec::new(),
                 hint: None,
+                entries: Vec::new(),
+                api_crate: None,
             }],
             allows: vec![
                 AllowEntry {
@@ -237,6 +342,7 @@ mod tests {
                     line: 2,
                 },
             ],
+            off_features: Vec::new(),
         };
         let diags = lint_source(
             "fixture/src/x.rs",

@@ -1,21 +1,37 @@
 //! The `rperf-lint` binary: lints the workspace against `lint.toml`.
 //!
 //! ```text
-//! rperf-lint [--root DIR] [--config FILE]
+//! rperf-lint [--root DIR] [--config FILE] [--jobs N]
+//!            [--format human|json] [--explain RULE] [--ci]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage/config/I-O error.
+//! * `--jobs N` — worker threads for the per-file scan (0 = all cores;
+//!   output is byte-identical for any N).
+//! * `--format json` — machine-readable diagnostics on stdout.
+//! * `--explain RULE` — print what a rule proves and how to fix or
+//!   exempt a finding, then exit.
+//! * `--ci` — additionally write `LINT_report.json` under `--root` (the
+//!   CI artifact the problem matcher and the report step consume).
+//!
+//! Exit codes: 0 clean, 1 violations found *or stale `[[allow]]`
+//! entries* (the allowlist must not rot), 2 usage/config/I-O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rperf_lint::{lint_workspace, Config};
+use rperf_lint::{lint_workspace, report_json, rules, Config};
+
+const USAGE: &str = "usage: rperf-lint [--root DIR] [--config FILE] [--jobs N] \
+                     [--format human|json] [--explain RULE] [--ci]";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
+    let mut jobs = 0usize;
+    let mut json = false;
+    let mut ci = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,8 +43,30 @@ fn main() -> ExitCode {
                 Some(v) => config_path = Some(PathBuf::from(v)),
                 None => return usage("--config needs a file"),
             },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage("--jobs needs a number"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => json = false,
+                Some("json") => json = true,
+                _ => return usage("--format needs `human` or `json`"),
+            },
+            "--explain" => {
+                return match args.next().as_deref().and_then(rules::explain) {
+                    Some(text) => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => usage(&format!(
+                        "--explain needs a rule id (known: {:?})",
+                        rules::KNOWN_IDS
+                    )),
+                };
+            }
+            "--ci" => ci = true,
             "--help" | "-h" => {
-                println!("usage: rperf-lint [--root DIR] [--config FILE]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -51,20 +89,35 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match lint_workspace(&root, &cfg) {
+    let report = match lint_workspace(&root, &cfg, jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rperf-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    if ci {
+        let artifact = root.join("LINT_report.json");
+        if let Err(e) = std::fs::write(&artifact, report_json(&report) + "\n") {
+            eprintln!("rperf-lint: cannot write {}: {e}", artifact.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        println!("{}", report_json(&report));
+        return if report.diagnostics.is_empty() && report.unused_allows.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
     for d in &report.diagnostics {
         print!("{}", d.render());
     }
     for w in &report.unused_allows {
-        eprintln!("rperf-lint: warning: {w}");
+        eprintln!("rperf-lint: error: {w}");
     }
-    if report.diagnostics.is_empty() {
+    if report.diagnostics.is_empty() && report.unused_allows.is_empty() {
         println!(
             "lint-invariants: clean ({} files, {} rules, {} allow entries)",
             report.files_checked,
@@ -77,16 +130,17 @@ fn main() -> ExitCode {
         let mut files: Vec<&str> = report.diagnostics.iter().map(|d| d.path.as_str()).collect();
         files.dedup();
         println!(
-            "lint-invariants: {} violation(s) in {} of {} files",
+            "lint-invariants: {} violation(s) in {} of {} files, {} stale allow(s)",
             report.diagnostics.len(),
             files.len(),
-            report.files_checked
+            report.files_checked,
+            report.unused_allows.len()
         );
         ExitCode::from(1)
     }
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("rperf-lint: {msg}\nusage: rperf-lint [--root DIR] [--config FILE]");
+    eprintln!("rperf-lint: {msg}\n{USAGE}");
     ExitCode::from(2)
 }

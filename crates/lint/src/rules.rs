@@ -20,12 +20,20 @@
 //! | D8 | no environment reads (`env::var`) in result-producing paths |
 //! | D9 | blocking sockets in the serving layer carry finite timeouts |
 //! | D10 | cross-shard state travels only through the sim mailbox (no ad-hoc shared-mutable sync in shard-executed crates) |
+//!
+//! The interprocedural catalog (I1–I4) lives in [`crate::inter`] and
+//! runs over the whole-workspace call graph instead of single token
+//! streams; this module only registers the ids, hints, and `--explain`
+//! text.
 
 use crate::config::{Config, RuleCfg};
 use crate::lexer::{lex, TokKind, Token};
+use crate::parse::{self, ItemTree};
 
 /// Every rule id the engine implements.
-pub const KNOWN_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10"];
+pub const KNOWN_IDS: &[&str] = &[
+    "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10", "I1", "I2", "I3", "I4",
+];
 
 /// The built-in fix hint for `id`.
 pub fn default_hint(id: &str) -> &'static str {
@@ -40,8 +48,35 @@ pub fn default_hint(id: &str) -> &'static str {
         "D8" => "environment variables make results depend on the shell; thread configuration through explicit arguments",
         "D9" => "a blocking socket read with no timeout lets one stalled peer wedge the thread forever; call set_read_timeout(Some(..))/set_write_timeout(Some(..)) right after accept/connect",
         "D10" => "shard worker domains may exchange state only through rperf_sim::shard::Mailbox envelopes, which the window scheduler merges in (time, seq) order; ad-hoc shared-mutable sync is a side channel the deterministic merge never sees",
+        "I1" => "the call chain in the message shows how a result path reaches ambient input; thread the value through explicit arguments, or break the edge (the diagnostic points at the source, not the entry)",
+        "I2" => "a panic anywhere in the reachable set aborts the whole sweep; return a typed error along the chain, or demote the check to debug_assert! (pruned from release reachability)",
+        "I3" => "shard workers must not touch process-global state; move it into the shard's WorldState, or — for monotonic telemetry counters only — add an [[allow]] naming the atomic with a justification",
+        "I4" => "callers inherit the (time, seq) ordering obligation of the API they call; copy the contract sentence into this fn's doc comment so the obligation stays visible at every layer",
         _ => "see DESIGN.md §5",
     }
+}
+
+/// The long-form `--explain <rule>` text: what the rule proves, how it
+/// computes it, and how to fix or exempt a finding.
+pub fn explain(id: &str) -> Option<&'static str> {
+    let text = match id {
+        "D1" => "D1 — no unordered containers.\n\nstd's HashMap/HashSet iterate in randomized order (SipHash with a\nper-process seed), so any result that folds over one is run-dependent.\nThe rule flags every HashMap/HashSet ident in scoped crates; use\nBTreeMap/BTreeSet or a sorted Vec.",
+        "D2" => "D2 — no wall-clock reads.\n\nInstant/SystemTime/std::time make output depend on host speed and\ntime-of-day. Simulated time comes from rperf_sim::SimTime only. The\ntoken rule flags the type names; rule I1 additionally proves no figure\npath can *reach* a clock read through helpers.",
+        "D3" => "D3 — no ambient RNG.\n\nthread_rng()/rand:: ignore the experiment seed, so reruns diverge.\nRandomness must be forked from rperf_sim::rng::SimRng, which is seeded\nby the scenario. I1 extends this check across call boundaries.",
+        "D4" => "D4 — integer quantities.\n\nFloat rounding is platform- and optimization-sensitive; time and bytes\nstay in integer-picosecond/byte newtypes (rperf_model::units). Floats\nbelong in rperf-stats, after the deterministic part is done.",
+        "D5" => "D5 — no panics in hot-loop crates (token-level).\n\nFlags .unwrap()/.expect()/panic!/todo!/unimplemented! anywhere in the\nscoped crates. Superseded for reachability precision by I2, which\nflags only panic sites the hot loop can actually reach.",
+        "D6" => "D6 — no unsafe.\n\nThe workspace is 100% safe Rust; every crate root must carry\n#![forbid(unsafe_code)] so the compiler enforces it too.",
+        "D7" => "D7 — documented event-API contracts.\n\nEvery pub fn in the event-API crate documents its ordering contract.\nI4 propagates the obligation to callers in other crates.",
+        "D8" => "D8 — no environment reads.\n\nenv::var makes results depend on the invoking shell. Configuration is\nthreaded through explicit arguments. I1 extends the check to\nreachability from result-producing entries.",
+        "D9" => "D9 — finite socket timeouts.\n\nA blocking read with no timeout lets one stalled peer wedge a serve\nworker forever. set_read_timeout(Some(..)) right after accept/connect;\nset_read_timeout(None) is flagged at the call site.",
+        "D10" => "D10 — no shard side channels.\n\nCross-shard state travels only through rperf_sim::shard::Mailbox\nenvelopes, merged in (time, seq) order at window boundaries. Mutex/\nRwLock/RefCell/Cell/mpsc in shard-executed crates are side channels\nthe deterministic merge never sees. I3 adds reachability: statics\ntouched by code the shard windows can call.",
+        "I1" => "I1 — taint reachability (interprocedural).\n\nSources: thread_rng()/rand::, Instant/SystemTime, env::var*/vars, and\nset_read_timeout(None)/set_write_timeout(None). The analyzer builds a\nconservative workspace call graph (see DESIGN.md §5.1), BFS-reaches\nfrom the configured `entries` (figure generators, executors, sweep\nrunners), and flags every source inside the reachable set — however\nmany helper crates deep. The message carries the shortest call chain\nthe graph knows from an entry to the offending function. Fix by\nthreading the value through arguments; exempt with a justified\n[[allow]] pinned to the site.",
+        "I2" => "I2 — panic reachability (interprocedural).\n\nFlags panic!/todo!/unimplemented! and .unwrap()/.expect() in any\nfunction reachable from the hot-loop entries (`entries` in lint.toml:\nWorldState::handle_one, run/run_budgeted, shard window bodies).\nPruning: #[cfg(test)] items are not graph nodes, debug_assert! bodies\nare skipped (they vanish in release builds), and code gated by an\n`off_features` feature is invisible. Unlike D5's per-crate blanket,\nan unreachable panic in the same crate is fine. Method-name call edges\nover-approximate: a panic in a same-named method of an unrelated type\ncan be flagged — silence that with a justified [[allow]].",
+        "I3" => "I3 — shard purity (interprocedural).\n\nShard worker windows replay deterministically only if shard-executed\ncode touches no process-global state. The analyzer reaches from the\nshard window entries and flags every `static` referenced by reachable\ncode, one diagnostic per (static, file). The only sanctioned\nexception is monotonic telemetry (Atomic* counters folded after the\nrun) — exempt those via [[allow]] entries naming the counter, so each\nexemption carries a justification.",
+        "I4" => "I4 — ordering-contract propagation (interprocedural).\n\nA pub fn that (exactly) calls a contract-documented function of the\nevent-API crate (`api_crate`, default `sim`) must itself carry a doc\ncomment stating the ordering contract (any of: 'order', 'FIFO',\n'(time, seq)', 'deterministic', case-insensitive). This closes D7's\none-crate scope: the obligation follows the call graph outward.\nName-level method edges are deliberately excluded — they would demand\nordering docs from every Vec::push caller.",
+        _ => return None,
+    };
+    Some(text)
 }
 
 /// One violation.
@@ -110,10 +145,13 @@ pub struct SourceFile {
     pub in_test: Vec<bool>,
     /// Source lines (for diagnostics).
     pub lines: Vec<String>,
+    /// The parsed item tree (fns, statics, uses) for the call graph.
+    pub tree: ItemTree,
 }
 
 impl SourceFile {
-    /// Tokenizes `src` and computes the test-region mask.
+    /// Tokenizes `src`, computes the test-region mask, and parses the
+    /// item tree.
     pub fn analyze(path: &str, crate_key: &str, is_crate_root: bool, src: &str) -> SourceFile {
         let tokens = lex(src);
         let sig = tokens
@@ -123,6 +161,7 @@ impl SourceFile {
             .map(|(i, _)| i)
             .collect::<Vec<_>>();
         let in_test = test_mask(&tokens, &sig);
+        let tree = parse::parse(&tokens);
         SourceFile {
             path: path.to_string(),
             crate_key: crate_key.to_string(),
@@ -132,6 +171,7 @@ impl SourceFile {
             sig,
             in_test,
             lines: src.lines().map(str::to_string).collect(),
+            tree,
         }
     }
 
@@ -709,9 +749,12 @@ mod tests {
                     crates: vec!["fixture".to_string()],
                     files: Vec::new(),
                     hint: None,
+                    entries: Vec::new(),
+                    api_crate: None,
                 })
                 .collect(),
             allows: Vec::new(),
+            off_features: Vec::new(),
         }
     }
 

@@ -12,15 +12,27 @@ use std::path::{Path, PathBuf};
 
 use rperf_lint::{lint_source, lint_workspace, Config};
 
-const RULE_IDS: [&str; 10] = ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10"];
+const RULE_IDS: [&str; 14] = [
+    "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10", "I1", "I2", "I3", "I4",
+];
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
 
 /// A config enabling exactly one rule, scoped to the fixture crate key.
+/// The interprocedural rules get fixture-local entry points: each
+/// `iN_*.rs` file is a self-contained mini-workspace whose entry fn
+/// mirrors the real one (`fig_latency`, `WorldState::handle_one`, …).
 fn rule_config(id: &str) -> Config {
-    let toml = format!("[[rule]]\nid = \"{id}\"\ncrates = [\"fixtures\"]\n");
+    let extra = match id {
+        "I1" => "entries = [\"fig_latency\"]\n",
+        "I2" => "entries = [\"WorldState::handle_one\"]\n",
+        "I3" => "entries = [\"run_window\"]\n",
+        "I4" => "api_crate = \"fixtures\"\n",
+        _ => "",
+    };
+    let toml = format!("[[rule]]\nid = \"{id}\"\ncrates = [\"fixtures\"]\n{extra}");
     Config::parse(&toml).expect("fixture rule config parses")
 }
 
@@ -84,7 +96,7 @@ fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let text = fs::read_to_string(root.join("lint.toml")).expect("read lint.toml");
     let cfg = Config::parse(&text).expect("lint.toml parses");
-    let report = lint_workspace(&root, &cfg).expect("walk workspace");
+    let report = lint_workspace(&root, &cfg, 1).expect("walk workspace");
     let rendered: String = report.diagnostics.iter().map(|d| d.render()).collect();
     assert!(
         report.diagnostics.is_empty(),
@@ -94,5 +106,43 @@ fn workspace_is_lint_clean() {
         report.unused_allows.is_empty(),
         "stale [[allow]] entries in lint.toml:\n{}",
         report.unused_allows.join("\n")
+    );
+}
+
+/// The parallel scan must be byte-identical at any thread count — the
+/// same guarantee the sweep runner makes for `--jobs N`.
+#[test]
+fn workspace_report_is_jobs_invariant() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = fs::read_to_string(root.join("lint.toml")).expect("read lint.toml");
+    let cfg = Config::parse(&text).expect("lint.toml parses");
+    let json1 = rperf_lint::report_json(&lint_workspace(&root, &cfg, 1).expect("jobs=1"));
+    let json4 = rperf_lint::report_json(&lint_workspace(&root, &cfg, 4).expect("jobs=4"));
+    let json0 = rperf_lint::report_json(&lint_workspace(&root, &cfg, 0).expect("jobs=auto"));
+    assert_eq!(json1, json4, "jobs=1 vs jobs=4 reports differ");
+    assert_eq!(json1, json0, "jobs=1 vs jobs=auto reports differ");
+}
+
+/// Stale `[[allow]]` entries are a hard failure, not a warning: an
+/// entry that matches nothing must surface in `unused_allows` (the
+/// binary exits non-zero on any).
+#[test]
+fn stale_allow_entries_are_reported() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let toml = "[[rule]]\nid = \"D5\"\ncrates = [\"lint\"]\n\n\
+                [[allow]]\nrule = \"D5\"\npath = \"crates/lint/src/never_exists.rs\"\n\
+                justification = \"deliberately stale fixture entry\"\n";
+    let cfg = Config::parse(toml).expect("stale-allow config parses");
+    let report = lint_workspace(&root, &cfg, 1).expect("walk workspace");
+    assert_eq!(
+        report.unused_allows.len(),
+        1,
+        "the never-matching allow must be reported stale: {:?}",
+        report.unused_allows
+    );
+    assert!(
+        report.unused_allows[0].contains("never_exists.rs"),
+        "{:?}",
+        report.unused_allows
     );
 }

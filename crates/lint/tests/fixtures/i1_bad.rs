@@ -1,0 +1,27 @@
+//! I1 bad: the figure path reaches ambient RNG two calls down — the
+//! exact laundering the token rule D3 cannot see when the helper lives
+//! in another file or crate.
+
+/// Figure entry: sweeps message sizes and reports latency.
+pub fn fig_latency(points: &mut Vec<u64>) {
+    for size in [2u64, 1024, 4096] {
+        points.push(sample_one(size));
+    }
+}
+
+/// Runs one point of the sweep.
+fn sample_one(size: u64) -> u64 {
+    size + jitter()
+}
+
+/// "Realistic" jitter — from the thread-local RNG, ignoring the seed.
+fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64() % 100
+}
+
+/// Not reachable from the figure path: stays unflagged even though it
+/// reads the wall clock (precision over D2's per-crate blanket).
+pub fn debug_timer() -> Instant {
+    Instant::now()
+}

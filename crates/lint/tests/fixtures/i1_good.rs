@@ -1,0 +1,25 @@
+//! I1 good: the same shape of figure path, with randomness threaded
+//! through an explicit seeded stream — nothing ambient is reachable.
+
+/// Figure entry: sweeps message sizes and reports latency.
+pub fn fig_latency(points: &mut Vec<u64>, rng: &mut SimRng) {
+    for size in [2u64, 1024, 4096] {
+        points.push(sample_one(size, rng));
+    }
+}
+
+/// Runs one point of the sweep.
+fn sample_one(size: u64, rng: &mut SimRng) -> u64 {
+    size + jitter(rng)
+}
+
+/// Jitter from the experiment-seeded stream: replayable.
+fn jitter(rng: &mut SimRng) -> u64 {
+    rng.next_u64() % 100
+}
+
+/// Ambient input outside the figure path's reachable set is the token
+/// rules' business (D2/D3), not I1's.
+pub fn debug_timer() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,19 @@
+//! I3 bad: shard-executed code reaches process-global state — a
+//! non-atomic table *and* an undeclared atomic counter, both side
+//! channels the deterministic window merge never sees.
+
+static ROUTE_CACHE: [u8; 64] = [0; 64];
+static WINDOW_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Shard window entry: drains one conservative-lookahead window.
+pub fn run_window(events: &mut Vec<u64>) {
+    while let Some(ev) = events.pop() {
+        dispatch(ev);
+    }
+}
+
+/// Dispatches one event, consulting the global route cache.
+fn dispatch(ev: u64) {
+    WINDOW_HITS.fetch_add(1, Relaxed);
+    let _port = ROUTE_CACHE[(ev % 64) as usize];
+}

@@ -1,0 +1,16 @@
+//! I4 bad: a pub fn calls an ordering-contract-documented API but its
+//! own doc says nothing about ordering — the contract obligation is
+//! dropped at the crate boundary.
+
+/// Pops the next event in (time, seq) FIFO order; callers must preserve
+/// this order when re-queueing.
+pub fn pop_next(queue: &mut Vec<u64>) -> Option<u64> {
+    queue.pop()
+}
+
+/// Drains a batch of events into `out`.
+pub fn drain_batch(queue: &mut Vec<u64>, out: &mut Vec<u64>) {
+    while let Some(ev) = pop_next(queue) {
+        out.push(ev);
+    }
+}

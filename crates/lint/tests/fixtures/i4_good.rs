@@ -1,0 +1,21 @@
+//! I4 good: every pub caller of the contract-documented API carries the
+//! ordering contract in its own doc; private helpers are exempt.
+
+/// Pops the next event in (time, seq) FIFO order; callers must preserve
+/// this order when re-queueing.
+pub fn pop_next(queue: &mut Vec<u64>) -> Option<u64> {
+    queue.pop()
+}
+
+/// Drains a batch of events into `out`, preserving (time, seq) order —
+/// `out` is append-only, so the FIFO contract of `pop_next` survives.
+pub fn drain_batch(queue: &mut Vec<u64>, out: &mut Vec<u64>) {
+    while let Some(ev) = pop_next(queue) {
+        out.push(ev);
+    }
+}
+
+/// Private callers carry no propagation obligation.
+fn internal_drain(queue: &mut Vec<u64>) {
+    while pop_next(queue).is_some() {}
+}

@@ -130,9 +130,14 @@ impl Bsg {
     }
 
     fn post_batch(&mut self, ctx: &mut Ctx<'_>, count: usize) {
+        let Some(qp) = self.qp else {
+            debug_assert!(false, "post_batch before start");
+            return;
+        };
         let wrs: Vec<SendWr> = (0..count).map(|_| self.make_wr(ctx)).collect();
-        ctx.post_send_batch(self.qp.expect("started"), wrs)
-            .expect("valid BSG work requests");
+        if ctx.post_send_batch(qp, wrs).is_err() {
+            debug_assert!(false, "invalid BSG work requests");
+        }
     }
 }
 

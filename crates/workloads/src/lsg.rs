@@ -95,12 +95,17 @@ impl ClosedLoopPing {
     }
 
     fn fire(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(qp) = self.qp else {
+            debug_assert!(false, "fire before start");
+            return;
+        };
         self.posted_at = ctx.now();
         let wr = SendWr::new(WrId(self.iter), Verb::Send, self.cfg.payload)
             .to(ctx.lid_of(self.cfg.target), QpNum::new(1))
             .with_sl(self.cfg.sl);
-        ctx.post_send(self.qp.expect("started"), wr)
-            .expect("valid LSG work request");
+        if ctx.post_send(qp, wr).is_err() {
+            debug_assert!(false, "invalid LSG work request");
+        }
     }
 }
 

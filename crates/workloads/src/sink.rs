@@ -76,9 +76,13 @@ impl App for Sink {
         self.last_at = ctx.now();
         self.meter.record(ctx.now().as_ps(), cqe.bytes);
         // Replenish the consumed buffer.
+        let Some(qp) = self.qp else {
+            debug_assert!(false, "CQE before start");
+            return;
+        };
         let id = self.next_wr;
         self.next_wr += 1;
-        ctx.post_recv(self.qp.expect("started"), RecvWr::new(WrId(id), 1 << 20));
+        ctx.post_recv(qp, RecvWr::new(WrId(id), 1 << 20));
     }
 
     fn as_any(&self) -> &dyn Any {
